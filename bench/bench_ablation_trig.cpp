@@ -1,0 +1,64 @@
+// Ablation (§7.2.1): "the runtime of preliminary versions of our generators
+// was dominated by repeated evaluations of trigonometric functions".
+// Measures the RHG adjacency test with the precomputed coth/sinh/cos/sin
+// form (Eq. 9) against the direct Eq. 4 distance evaluation, on identical
+// point pairs.
+//
+// Expected: the precomputed form is several times faster, justifying the
+// design choice and the NkGen-like baseline's ranking in Fig. 14.
+#include "bench_common.hpp"
+#include "hyperbolic/hyperbolic.hpp"
+#include "prng/rng.hpp"
+
+namespace {
+
+using namespace kagen;
+
+std::vector<hyp::HypPoint> sample_points(const hyp::Space& space, u64 count) {
+    Rng rng(7);
+    std::vector<hyp::HypPoint> pts;
+    pts.reserve(count);
+    for (u64 i = 0; i < count; ++i) {
+        const double r     = space.inv_radial(0.0, space.radius(), rng.uniform());
+        const double theta = rng.uniform(0.0, 2.0 * std::numbers::pi);
+        pts.push_back(space.make_point(i, r, theta));
+    }
+    return pts;
+}
+
+void EdgeTest_Precomputed(benchmark::State& state) {
+    const hyp::Space space(hyp::Params{1u << 20, 16.0, 2.8, 1});
+    const auto pts = sample_points(space, 1u << 12);
+    u64 hits       = 0;
+    for (auto _ : state) {
+        for (std::size_t i = 0; i < pts.size(); ++i) {
+            hits += space.edge(pts[i], pts[(i * 31 + 7) % pts.size()]);
+        }
+    }
+    benchmark::DoNotOptimize(hits);
+    state.SetItemsProcessed(state.iterations() * static_cast<i64>(pts.size()));
+}
+
+void EdgeTest_RawTrigonometric(benchmark::State& state) {
+    const hyp::Space space(hyp::Params{1u << 20, 16.0, 2.8, 1});
+    const auto pts = sample_points(space, 1u << 12);
+    u64 hits       = 0;
+    for (auto _ : state) {
+        for (std::size_t i = 0; i < pts.size(); ++i) {
+            hits += space.distance(pts[i], pts[(i * 31 + 7) % pts.size()]) <
+                    space.radius();
+        }
+    }
+    benchmark::DoNotOptimize(hits);
+    state.SetItemsProcessed(state.iterations() * static_cast<i64>(pts.size()));
+}
+
+BENCHMARK(EdgeTest_Precomputed)->MinTime(0.2)->MinWarmUpTime(0.05);
+BENCHMARK(EdgeTest_RawTrigonometric)->MinTime(0.2)->MinWarmUpTime(0.05);
+
+} // namespace
+
+KAGEN_BENCH_MAIN(
+    "# Ablation (paper §7.2.1) — RHG adjacency test: precomputed (Eq. 9) vs "
+    "raw trigonometric (Eq. 4).\n"
+    "# items/s = adjacency tests per second; expect a multi-x gap.")

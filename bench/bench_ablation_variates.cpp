@@ -1,0 +1,82 @@
+// Ablation (§8.6.1): "Due to the costs of generating these variates,
+// minimizing the number of variates yields large performance benefits."
+// Quantifies the cost hierarchy the generators are built around:
+//   * uniform draws (what R-MAT burns log2 n of per edge),
+//   * binomial variates: inversion (small mean) vs BTRS rejection,
+//   * hypergeometric variates: inversion vs HRUA rejection,
+//   * hash-seeded Mersenne Twister construction (what one recursion-node
+//     reseed costs — why seeds are drawn per subtree, not per sample).
+#include "bench_common.hpp"
+#include "prng/rng.hpp"
+#include "variates/variates.hpp"
+
+namespace {
+
+using namespace kagen;
+
+void Uniform64(benchmark::State& state) {
+    Rng rng(1);
+    u64 acc = 0;
+    for (auto _ : state) acc += rng.bits();
+    benchmark::DoNotOptimize(acc);
+    state.SetItemsProcessed(state.iterations());
+}
+
+void Binomial_SmallMean_Inversion(benchmark::State& state) {
+    Rng rng(1);
+    u64 acc = 0;
+    for (auto _ : state) acc += binomial(rng, 1000, 0.005); // mean 5
+    benchmark::DoNotOptimize(acc);
+    state.SetItemsProcessed(state.iterations());
+}
+
+void Binomial_LargeMean_BTRS(benchmark::State& state) {
+    Rng rng(1);
+    u64 acc = 0;
+    for (auto _ : state) acc += binomial(rng, u64{1} << 30, 0.5);
+    benchmark::DoNotOptimize(acc);
+    state.SetItemsProcessed(state.iterations());
+}
+
+void Hypergeometric_Small_Inversion(benchmark::State& state) {
+    Rng rng(1);
+    u64 acc = 0;
+    for (auto _ : state) acc += hypergeometric(rng, 100000, 50, 1000);
+    benchmark::DoNotOptimize(acc);
+    state.SetItemsProcessed(state.iterations());
+}
+
+void Hypergeometric_Large_HRUA(benchmark::State& state) {
+    Rng rng(1);
+    u64 acc = 0;
+    for (auto _ : state) {
+        acc += hypergeometric(rng, u64{1} << 40, u64{1} << 39, u64{1} << 24);
+    }
+    benchmark::DoNotOptimize(acc);
+    state.SetItemsProcessed(state.iterations());
+}
+
+void HashSeededRngConstruction(benchmark::State& state) {
+    u64 acc = 0;
+    u64 i   = 0;
+    for (auto _ : state) {
+        Rng rng = Rng::for_ids(42, {0x5eedULL, i++});
+        acc += rng.bits();
+    }
+    benchmark::DoNotOptimize(acc);
+    state.SetItemsProcessed(state.iterations());
+}
+
+BENCHMARK(Uniform64)->MinTime(0.2)->MinWarmUpTime(0.05);
+BENCHMARK(Binomial_SmallMean_Inversion)->MinTime(0.2)->MinWarmUpTime(0.05);
+BENCHMARK(Binomial_LargeMean_BTRS)->MinTime(0.2)->MinWarmUpTime(0.05);
+BENCHMARK(Hypergeometric_Small_Inversion)->MinTime(0.2)->MinWarmUpTime(0.05);
+BENCHMARK(Hypergeometric_Large_HRUA)->MinTime(0.2)->MinWarmUpTime(0.05);
+BENCHMARK(HashSeededRngConstruction)->MinTime(0.2)->MinWarmUpTime(0.05);
+
+} // namespace
+
+KAGEN_BENCH_MAIN(
+    "# Ablation (paper §8.6.1) — cost of random variates.\n"
+    "# Orders the primitives the generators' O(#variates) arguments rest "
+    "on; note the MT construction cost vs a single uniform.")

@@ -1,0 +1,63 @@
+/// \file bench_common.hpp
+/// \brief Shared helpers for the per-figure benchmark binaries.
+///
+/// Conventions:
+///  * Scaling benchmarks use manual timing: one "iteration" runs all P
+///    simulated PEs concurrently on threads and records the makespan — the
+///    quantity an MPI job reports as its running time.
+///  * Each binary prints a header mapping it to the paper figure it
+///    regenerates and the scale substitutions (see EXPERIMENTS.md for the
+///    recorded outcomes).
+///  * Counters: "edges" = total edges the run produced across PEs (including
+///    intentional cross-PE duplicates), "Medges/s" = edges / makespan.
+#pragma once
+
+#include <benchmark/benchmark.h>
+
+#include <atomic>
+#include <cstdio>
+
+#include "pe/pe.hpp"
+
+namespace kagen::bench {
+
+/// Runs `fn` over P simulated PEs per iteration, reporting the makespan and
+/// edge-rate counters.
+inline void scaling_run(benchmark::State& state, u64 pes, const pe::RankFn& fn) {
+    // Untimed warmup: thread pool spin-up, page faults, and allocator arena
+    // growth otherwise dominate the first (often only) timed iteration.
+    pe::run_timed(pes, fn);
+
+    std::atomic<u64> edges{0};
+    auto counted = [&](u64 rank, u64 size) {
+        EdgeList e = fn(rank, size);
+        edges.fetch_add(e.size(), std::memory_order_relaxed);
+        return e;
+    };
+    u64 iterations = 0;
+    for (auto _ : state) {
+        state.SetIterationTime(pe::run_timed(pes, counted));
+        ++iterations;
+    }
+    const double per_iter =
+        static_cast<double>(edges.load()) / static_cast<double>(iterations);
+    state.counters["PEs"]   = static_cast<double>(pes);
+    state.counters["edges"] = per_iter;
+    state.counters["Medges/s"] =
+        benchmark::Counter(per_iter / 1e6, benchmark::Counter::kIsIterationInvariantRate);
+}
+
+} // namespace kagen::bench
+
+/// Defines main(): prints the figure banner, then runs the benchmarks.
+#define KAGEN_BENCH_MAIN(banner)                                   \
+    int main(int argc, char** argv) {                              \
+        std::puts(banner);                                         \
+        benchmark::Initialize(&argc, argv);                        \
+        if (benchmark::ReportUnrecognizedArguments(argc, argv)) {  \
+            return 1;                                              \
+        }                                                          \
+        benchmark::RunSpecifiedBenchmarks();                       \
+        benchmark::Shutdown();                                     \
+        return 0;                                                  \
+    }

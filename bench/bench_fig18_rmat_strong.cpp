@@ -1,0 +1,37 @@
+// Fig. 18: strong scaling of the R-MAT baseline — m fixed, P grows.
+// Paper scale: m in 2^32..2^36, P >= 2^10. Here: m in {2^22, 2^24}, P = 1..16.
+//
+// Expected shape: time ~ 1/P (the generator is embarrassingly parallel too;
+// it is the constant factor that separates it from the paper's generators).
+#include "bench_common.hpp"
+#include "rmat/rmat.hpp"
+
+namespace {
+
+using namespace kagen;
+
+void Strong_Rmat(benchmark::State& state) {
+    const u64 pes = static_cast<u64>(state.range(0));
+    const u64 m   = u64{1} << state.range(1);
+    u64 log_n     = 0;
+    while ((u64{1} << log_n) < m / 16) ++log_n;
+    const rmat::Params params{log_n, m, 0.57, 0.19, 0.19, 1};
+    bench::scaling_run(state, pes, [&](u64 rank, u64 size) {
+        return rmat::generate(params, rank, size);
+    });
+}
+
+void args(benchmark::internal::Benchmark* b) {
+    for (const int log_m : {22, 24}) {
+        for (const int pes : {1, 2, 4, 8, 16}) b->Args({pes, log_m});
+    }
+    b->UseManualTime()->Iterations(1)->Unit(benchmark::kMillisecond);
+}
+
+BENCHMARK(Strong_Rmat)->Apply(args);
+
+} // namespace
+
+KAGEN_BENCH_MAIN(
+    "# Fig. 18 — strong scaling R-MAT (m fixed, n = m/16).\n"
+    "# Args: {P, log2 m}. Expected: time ~ 1/P.")

@@ -1,0 +1,59 @@
+// Quickstart: generate a small instance of every supported network model
+// through the public facade and print basic structural statistics.
+//
+//   ./example_quickstart [n] [pes]
+#include <cstdio>
+#include <cstdlib>
+
+#include "graph/stats.hpp"
+#include "kagen.hpp"
+#include "pe/pe.hpp"
+
+using namespace kagen;
+
+int main(int argc, char** argv) {
+    const u64 n = argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 2000;
+    const u64 P = argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 4;
+
+    std::printf("KaGen reproduction quickstart: n = %llu vertices on %llu "
+                "simulated PEs\n\n",
+                static_cast<unsigned long long>(n),
+                static_cast<unsigned long long>(P));
+    std::printf("%-16s %12s %10s %10s %12s\n", "model", "edges", "avg deg",
+                "max deg", "components");
+
+    const Model models[] = {Model::GnmDirected, Model::GnmUndirected,
+                            Model::GnpUndirected, Model::Rgg2D, Model::Rgg3D,
+                            Model::Rdg2D, Model::Rdg3D, Model::Rhg,
+                            Model::RhgStreaming, Model::Ba, Model::Rmat};
+    for (const Model model : models) {
+        Config cfg;
+        cfg.model     = model;
+        cfg.n         = n;
+        cfg.m         = 8 * n;
+        cfg.p         = 16.0 / static_cast<double>(n);
+        cfg.r         = 0.6 * std::sqrt(std::log(static_cast<double>(n)) /
+                                        static_cast<double>(n));
+        cfg.avg_deg   = 16;
+        cfg.gamma     = 2.8;
+        cfg.ba_degree = 8;
+        cfg.seed      = 42;
+
+        // Every PE generates its part independently — no communication; the
+        // union below stands in for whatever the application would do with
+        // the distributed edge lists.
+        const auto per_pe = pe::run_all(P, [&](u64 rank, u64 size) {
+            return generate(cfg, rank, size).edges;
+        });
+        const EdgeList edges = pe::union_undirected(per_pe);
+        const u64 nv         = generate(cfg, 0, 1).n;
+        const auto degs      = degrees(edges, nv);
+        std::printf("%-16s %12zu %10.2f %10llu %12llu\n", model_name(model),
+                    edges.size(), average_degree(degs),
+                    static_cast<unsigned long long>(max_degree(degs)),
+                    static_cast<unsigned long long>(connected_components(edges, nv)));
+    }
+    std::printf("\nAll models generated communication-free: each PE's output "
+                "is a pure function of (rank, P, seed, params).\n");
+    return 0;
+}

@@ -1,0 +1,147 @@
+#include "baselines/holtgrewe_rgg.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+
+#include "common/math.hpp"
+#include "prng/rng.hpp"
+
+namespace kagen::baselines {
+namespace {
+
+struct OwnedPoint {
+    VertexId id;
+    Vec2 pos;
+};
+
+} // namespace
+
+double simulated_comm_seconds(u64 messages, u64 bytes) {
+    // SuperMUC-era interconnect ballpark: ~2 microseconds latency per
+    // message, ~1.5 GB/s effective per-PE bandwidth.
+    constexpr double kLatency   = 2e-6;
+    constexpr double kBandwidth = 1.5e9;
+    return kLatency * static_cast<double>(messages) +
+           static_cast<double>(bytes) / kBandwidth;
+}
+
+HoltgreweResult holtgrewe_generate(const HoltgreweParams& params, u64 num_pes) {
+    const auto t0 = std::chrono::steady_clock::now();
+    const u64 P   = std::max<u64>(num_pes, 1);
+    HoltgreweResult result;
+    result.per_pe.resize(P);
+
+    // Phase 1: every PE samples its n/P points anywhere in the unit square.
+    std::vector<std::vector<OwnedPoint>> sampled(P);
+    for (u64 pe = 0; pe < P; ++pe) {
+        Rng rng      = Rng::for_ids(params.seed, {0x401739eeULL, pe});
+        const u64 lo = block_begin(params.n, P, pe);
+        const u64 hi = block_begin(params.n, P, pe + 1);
+        sampled[pe].reserve(hi - lo);
+        for (u64 id = lo; id < hi; ++id) {
+            sampled[pe].push_back({id, {rng.uniform(), rng.uniform()}});
+        }
+    }
+
+    // Phase 2: exchange — points move to the PE owning their vertical strip.
+    std::vector<std::vector<OwnedPoint>> owned(P);
+    for (u64 pe = 0; pe < P; ++pe) {
+        for (const auto& p : sampled[pe]) {
+            const u64 target = std::min<u64>(
+                static_cast<u64>(p.pos[0] * static_cast<double>(P)), P - 1);
+            owned[target].push_back(p);
+            if (target != pe) result.bytes += sizeof(OwnedPoint);
+        }
+        result.messages += P - 1; // all-to-all exchange round
+    }
+
+    // Phase 3: border exchange — each strip ships the points within r of its
+    // left/right boundary to the neighbouring strips.
+    std::vector<std::vector<OwnedPoint>> halo(P);
+    const double strip = 1.0 / static_cast<double>(P);
+    for (u64 pe = 0; pe < P; ++pe) {
+        const double lo = strip * static_cast<double>(pe);
+        const double hi = lo + strip;
+        for (const auto& p : owned[pe]) {
+            if (pe > 0 && p.pos[0] < lo + params.r) {
+                halo[pe - 1].push_back(p);
+                result.bytes += sizeof(OwnedPoint);
+                }
+            if (pe + 1 < P && p.pos[0] > hi - params.r) {
+                halo[pe + 1].push_back(p);
+                result.bytes += sizeof(OwnedPoint);
+            }
+        }
+        result.messages += (pe > 0 ? 1 : 0) + (pe + 1 < P ? 1 : 0);
+    }
+
+    // Phase 4: local edge generation over a per-strip cell grid. Edges with
+    // both endpoints local are emitted once; strip-crossing edges are
+    // emitted by both involved PEs (like the original, which keeps ghost
+    // vertices).
+    const double r_sq = params.r * params.r;
+    for (u64 pe = 0; pe < P; ++pe) {
+        auto& edges = result.per_pe[pe];
+        std::vector<OwnedPoint> all = owned[pe];
+        const u64 local_count       = all.size();
+        all.insert(all.end(), halo[pe].begin(), halo[pe].end());
+        if (all.empty()) continue;
+
+        // Cell grid over the strip plus halo margin.
+        const double x0    = strip * static_cast<double>(pe) - params.r;
+        const double x1    = strip * static_cast<double>(pe + 1) + params.r;
+        const double side  = std::max(params.r, 1e-6);
+        const u64 cols     = std::max<u64>(1, static_cast<u64>((x1 - x0) / side) + 1);
+        const u64 rows     = std::max<u64>(1, static_cast<u64>(1.0 / side) + 1);
+        auto cell_of       = [&](const Vec2& p) {
+            const u64 cx = std::min<u64>(
+                static_cast<u64>(std::max(0.0, (p[0] - x0) / side)), cols - 1);
+            const u64 cy =
+                std::min<u64>(static_cast<u64>(p[1] / side), rows - 1);
+            return cy * cols + cx;
+        };
+        std::vector<std::vector<u32>> cells(cols * rows);
+        for (u32 i = 0; i < all.size(); ++i) cells[cell_of(all[i].pos)].push_back(i);
+
+        auto try_pair = [&](u32 i, u32 j) {
+            if (i >= local_count && j >= local_count) return; // halo-halo
+            if (distance_sq(all[i].pos, all[j].pos) <= r_sq) {
+                const VertexId a = all[i].id;
+                const VertexId b = all[j].id;
+                if (a != b) edges.emplace_back(std::min(a, b), std::max(a, b));
+            }
+        };
+        for (u64 cy = 0; cy < rows; ++cy) {
+            for (u64 cx = 0; cx < cols; ++cx) {
+                const auto& home = cells[cy * cols + cx];
+                if (home.empty()) continue;
+                for (std::size_t a = 0; a < home.size(); ++a) {
+                    for (std::size_t b = a + 1; b < home.size(); ++b) {
+                        try_pair(home[a], home[b]);
+                    }
+                }
+                // Forward neighbour cells only (each unordered cell pair once).
+                static constexpr int kDx[] = {1, -1, 0, 1};
+                static constexpr int kDy[] = {0, 1, 1, 1};
+                for (int k = 0; k < 4; ++k) {
+                    const i64 nx = static_cast<i64>(cx) + kDx[k];
+                    const i64 ny = static_cast<i64>(cy) + kDy[k];
+                    if (nx < 0 || ny < 0 || nx >= static_cast<i64>(cols) ||
+                        ny >= static_cast<i64>(rows)) {
+                        continue;
+                    }
+                    for (const u32 a : home) {
+                        for (const u32 b : cells[ny * cols + nx]) try_pair(a, b);
+                    }
+                }
+            }
+        }
+        sort_unique(edges);
+    }
+    result.compute_seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+    return result;
+}
+
+} // namespace kagen::baselines

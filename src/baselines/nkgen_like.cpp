@@ -1,0 +1,58 @@
+#include "baselines/nkgen_like.hpp"
+
+#include <map>
+#include <numbers>
+
+namespace kagen::baselines {
+
+EdgeList nkgen_like_generate(const hyp::Params& params, u64 rank, u64 size) {
+    const hyp::HypGrid grid(params, size);
+    const auto& space = grid.space();
+
+    std::map<std::pair<u32, u64>, std::vector<hyp::HypPoint>> cache;
+    auto points_of = [&](u32 a, u64 c) -> const std::vector<hyp::HypPoint>& {
+        auto it = cache.find({a, c});
+        if (it == cache.end()) {
+            it = cache.emplace(std::make_pair(a, c), grid.chunk_points(a, c)).first;
+        }
+        return it->second;
+    };
+
+    constexpr double kTwoPi = 2.0 * std::numbers::pi;
+    EdgeList edges;
+    for (u32 a = 0; a < grid.num_annuli(); ++a) {
+        for (const auto& v : points_of(a, rank)) {
+            for (u32 j = 0; j < grid.num_annuli(); ++j) {
+                const double width = space.delta_theta(v.r, grid.annulus_lower(j));
+                const u64 c_lo =
+                    width >= std::numbers::pi
+                        ? 0
+                        : grid.chunk_of_angle(std::fmod(v.theta - width + kTwoPi, kTwoPi));
+                const u64 c_hi =
+                    width >= std::numbers::pi
+                        ? grid.num_chunks() - 1
+                        : grid.chunk_of_angle(std::fmod(v.theta + width, kTwoPi));
+                // Walk chunks c_lo..c_hi circularly; scan every point (no
+                // binary search) and test with the raw metric.
+                u64 c = c_lo;
+                for (;;) {
+                    for (const auto& u : points_of(j, c)) {
+                        double d = std::fabs(u.theta - v.theta);
+                        d        = std::min(d, kTwoPi - d);
+                        if (d <= width && u.id != v.id &&
+                            space.distance(u, v) < space.radius()) {
+                            edges.emplace_back(std::min(u.id, v.id),
+                                               std::max(u.id, v.id));
+                        }
+                    }
+                    if (c == c_hi) break;
+                    c = (c + 1) % grid.num_chunks();
+                }
+            }
+        }
+    }
+    sort_unique(edges);
+    return edges;
+}
+
+} // namespace kagen::baselines

@@ -1,0 +1,23 @@
+/// \file nkgen_like.hpp
+/// \brief Query-centric RHG baseline without the §7.2.1 optimizations —
+///        stand-in for NkGen (von Looz et al. [31]) in the Fig. 14
+///        comparison.
+///
+/// Identical annuli-based candidate search as the in-memory RHG generator,
+/// but every distance test evaluates the raw hyperbolic metric (Eq. 4:
+/// cosh/sinh/cos/acosh per comparison) and candidate ranges are scanned
+/// without the angle-sorted binary search. This preserves precisely the
+/// algorithmic reasons the paper gives for NkGen's higher runtime per edge
+/// ("only partial pre-computation ... unstructured accesses").
+#pragma once
+
+#include "common/types.hpp"
+#include "graph/edge_list.hpp"
+#include "hyperbolic/hyperbolic.hpp"
+
+namespace kagen::baselines {
+
+/// Same partitioned semantics as rhg::generate_inmemory, same point set.
+EdgeList nkgen_like_generate(const hyp::Params& params, u64 rank, u64 size);
+
+} // namespace kagen::baselines

@@ -1,0 +1,95 @@
+#include "baselines/sequential_er.hpp"
+
+#include <cmath>
+#include <unordered_map>
+
+#include "common/math.hpp"
+
+namespace kagen::baselines {
+namespace {
+
+/// Emits m distinct uniformly random indices of [0, universe) by a virtual
+/// Fisher–Yates shuffle: only displaced slots are materialized in a hash
+/// map, so memory is O(m) regardless of the universe size.
+template <typename Emit>
+void virtual_fisher_yates(Rng& rng, u64 universe, u64 m, Emit&& emit) {
+    std::unordered_map<u64, u64> displaced;
+    displaced.reserve(m * 2);
+    for (u64 i = 0; i < m; ++i) {
+        const u64 j  = i + rng.range(universe - i);
+        const auto it = displaced.find(j);
+        u64 value;
+        if (it == displaced.end()) {
+            value = j;
+        } else {
+            value = it->second;
+        }
+        const auto self = displaced.find(i);
+        displaced[j]    = (self == displaced.end()) ? i : self->second;
+        emit(value);
+    }
+}
+
+/// Skip-distance (geometric) scan over a linear universe: visits exactly
+/// the sampled slots, O(1 + p*universe) expected.
+template <typename Emit>
+void skip_scan(Rng& rng, u64 universe, double p, Emit&& emit) {
+    if (p <= 0.0) return;
+    const double log_q = std::log1p(-p);
+    double pos         = -1.0;
+    for (;;) {
+        pos += 1.0 + std::floor(std::log(rng.uniform_pos()) / log_q);
+        if (pos >= static_cast<double>(universe)) return;
+        emit(static_cast<u64>(pos));
+    }
+}
+
+Edge directed_edge(u64 n, u64 index) {
+    const u64 row = index / (n - 1);
+    u64 col       = index % (n - 1);
+    if (col >= row) ++col;
+    return {row, col};
+}
+
+Edge undirected_edge(u128 index) {
+    const u64 row = triangle_row(index);
+    const u64 col = static_cast<u64>(index - triangle(row));
+    return {row, col};
+}
+
+} // namespace
+
+EdgeList bb_gnp_directed(u64 n, double p, u64 seed) {
+    Rng rng(seed);
+    EdgeList edges;
+    skip_scan(rng, n * (n - 1), p, [&](u64 i) { edges.push_back(directed_edge(n, i)); });
+    return edges;
+}
+
+EdgeList bb_gnp_undirected(u64 n, double p, u64 seed) {
+    Rng rng(seed);
+    EdgeList edges;
+    skip_scan(rng, static_cast<u64>(triangle(n)), p,
+              [&](u64 i) { edges.push_back(undirected_edge(i)); });
+    return edges;
+}
+
+EdgeList bb_gnm_directed(u64 n, u64 m, u64 seed) {
+    Rng rng(seed);
+    EdgeList edges;
+    edges.reserve(m);
+    virtual_fisher_yates(rng, n * (n - 1), m,
+                         [&](u64 i) { edges.push_back(directed_edge(n, i)); });
+    return edges;
+}
+
+EdgeList bb_gnm_undirected(u64 n, u64 m, u64 seed) {
+    Rng rng(seed);
+    EdgeList edges;
+    edges.reserve(m);
+    virtual_fisher_yates(rng, static_cast<u64>(triangle(n)), m,
+                         [&](u64 i) { edges.push_back(undirected_edge(i)); });
+    return edges;
+}
+
+} // namespace kagen::baselines

@@ -1,0 +1,34 @@
+/// \file sequential_er.hpp
+/// \brief Sequential Erdős–Rényi baselines in the style of Batagelj &
+///        Brandes [25] — the algorithmic family behind the Boost generator
+///        the paper compares against in Fig. 6.
+///
+/// * G(n,p): skip-distance sampling (geometric jumps over the linearized
+///   adjacency matrix), O(n + m) expected.
+/// * G(n,m): virtual Fisher–Yates shuffle over the pair universe with a
+///   sparse displacement map, O(n + m) expected.
+///
+/// Unlike the distributed generators these walk a vertex-indexed structure,
+/// which is exactly why their time per edge grows with n (the effect Fig. 6
+/// shows); our benchmark reproduces that contrast.
+#pragma once
+
+#include "common/types.hpp"
+#include "graph/edge_list.hpp"
+#include "prng/rng.hpp"
+
+namespace kagen::baselines {
+
+/// Directed G(n,p) via Batagelj–Brandes skip sampling.
+EdgeList bb_gnp_directed(u64 n, double p, u64 seed);
+
+/// Undirected G(n,p) (lower-triangle skip sampling), edges as (u > v).
+EdgeList bb_gnp_undirected(u64 n, double p, u64 seed);
+
+/// Directed G(n,m) via a virtual Fisher–Yates shuffle.
+EdgeList bb_gnm_directed(u64 n, u64 m, u64 seed);
+
+/// Undirected G(n,m) via a virtual Fisher–Yates shuffle over the triangle.
+EdgeList bb_gnm_undirected(u64 n, u64 m, u64 seed);
+
+} // namespace kagen::baselines

@@ -1,0 +1,72 @@
+/// \file math.hpp
+/// \brief Exact integer helpers used for chunk/edge index arithmetic.
+#pragma once
+
+#include <cassert>
+#include <cmath>
+
+#include "common/types.hpp"
+
+namespace kagen {
+
+/// Floor of the square root of a 128-bit integer, exact.
+/// Starts from the double approximation and corrects by local search; the
+/// correction loop runs at most a few steps because the double estimate is
+/// within one ulp-scaled neighbourhood of the true root.
+inline u128 isqrt(u128 x) {
+    if (x == 0) return 0;
+    auto approx = static_cast<u128>(std::sqrt(static_cast<double>(x)));
+    // Guard against the double rounding above/below the true root.
+    while (approx > 0 && approx * approx > x) --approx;
+    while ((approx + 1) * (approx + 1) <= x) ++approx;
+    return approx;
+}
+
+/// Number of unordered pairs {i, j}, i != j, drawn from t elements.
+inline constexpr u128 triangle(u128 t) { return t * (t - 1) / 2; }
+
+/// Inverts `triangle`: given a linear index k into the strictly-lower-
+/// triangular part of a matrix (row-major: (1,0),(2,0),(2,1),(3,0),...),
+/// returns the row r such that triangle(r) <= k < triangle(r+1).
+inline u64 triangle_row(u128 k) {
+    // r = floor((1 + sqrt(1 + 8k)) / 2); compute exactly via isqrt.
+    const u128 s = isqrt(8 * k + 1);
+    auto r       = static_cast<u64>((1 + s) / 2);
+    while (triangle(r) > k) --r;
+    while (triangle(static_cast<u128>(r) + 1) <= k) ++r;
+    return r;
+}
+
+/// floor(log2(x)) for x >= 1.
+inline constexpr u32 floor_log2(u64 x) {
+    assert(x >= 1);
+    return 63u - static_cast<u32>(__builtin_clzll(x));
+}
+
+/// Smallest power of two >= x (x >= 1).
+inline constexpr u64 ceil_pow2(u64 x) {
+    assert(x >= 1);
+    return x <= 1 ? 1 : u64{1} << (64 - __builtin_clzll(x - 1));
+}
+
+inline constexpr bool is_pow2(u64 x) { return x != 0 && (x & (x - 1)) == 0; }
+
+/// Divides a range of `n` items into `parts` nearly equal consecutive blocks;
+/// returns the first index of block `part` (block sizes differ by at most 1).
+inline constexpr u64 block_begin(u64 n, u64 parts, u64 part) {
+    return (n / parts) * part + std::min(part, n % parts);
+}
+
+inline constexpr u64 block_size(u64 n, u64 parts, u64 part) {
+    return block_begin(n, parts, part + 1) - block_begin(n, parts, part);
+}
+
+/// Block that owns item `i` under the `block_begin` partition.
+inline constexpr u64 block_owner(u64 n, u64 parts, u64 i) {
+    const u64 big   = n % parts;           // first `big` blocks have size q+1
+    const u64 q     = n / parts;
+    const u64 split = big * (q + 1);       // items covered by the big blocks
+    return i < split ? i / (q + 1) : (q == 0 ? parts - 1 : big + (i - split) / q);
+}
+
+} // namespace kagen

@@ -1,0 +1,424 @@
+/// \file delaunay.hpp
+/// \brief Incremental Bowyer–Watson Delaunay triangulation in 2D and 3D.
+///
+/// From-scratch replacement for the CGAL backend the paper uses (§8.5).
+/// Design notes:
+///  * Geometric predicates (orientation / in-circumsphere) are evaluated as
+///    cofactor-expanded determinants in `long double` (64-bit mantissa on
+///    x86). The library only ever triangulates *random* point sets, whose
+///    degeneracies have measure zero; DESIGN.md records this substitution
+///    versus CGAL's exact predicates. Tests validate the empty-circumsphere
+///    property against an independent circumcenter computation.
+///  * A finite super-simplex (scaled ~10x beyond the input bounding box)
+///    hosts the construction. Simplices touching a super vertex are reported
+///    so callers (the RDG halo loop, §6) can treat them as "insufficient
+///    halo" evidence; interior simplices are unaffected by the finite
+///    super-simplex because their circumspheres are verified to stay inside
+///    generated space.
+///  * Point location uses a visibility walk from the most recent simplex
+///    with a linear-scan fallback, conflict regions grow by BFS, and the
+///    cavity is re-triangulated by fanning the new point to the cavity
+///    boundary facets.
+#pragma once
+
+#include <array>
+#include <cassert>
+#include <cmath>
+#include <map>
+#include <stdexcept>
+#include <vector>
+
+#include "common/types.hpp"
+#include "geometry/vec.hpp"
+
+namespace kagen {
+
+namespace dt_detail {
+
+inline long double det3(const std::array<std::array<long double, 3>, 3>& m) {
+    return m[0][0] * (m[1][1] * m[2][2] - m[1][2] * m[2][1]) -
+           m[0][1] * (m[1][0] * m[2][2] - m[1][2] * m[2][0]) +
+           m[0][2] * (m[1][0] * m[2][1] - m[1][1] * m[2][0]);
+}
+
+inline long double det4(const std::array<std::array<long double, 4>, 4>& m) {
+    long double det = 0.0L;
+    for (int c = 0; c < 4; ++c) {
+        std::array<std::array<long double, 3>, 3> minor{};
+        for (int r = 1; r < 4; ++r) {
+            int cc = 0;
+            for (int k = 0; k < 4; ++k) {
+                if (k == c) continue;
+                minor[r - 1][cc++] = m[r][k];
+            }
+        }
+        const long double term = m[0][c] * det3(minor);
+        det += (c % 2 == 0) ? term : -term;
+    }
+    return det;
+}
+
+} // namespace dt_detail
+
+/// Sphere through the vertices of a simplex (used by the RDG halo test and
+/// by the test suite's independent Delaunay verification).
+template <int D>
+struct Circumsphere {
+    Vec<D> center;
+    double radius2 = 0.0;
+};
+
+/// Circumsphere by solving the (well-conditioned for non-degenerate
+/// simplices) linear system |c - v_i|^2 = r^2 via Gaussian elimination.
+template <int D>
+Circumsphere<D> circumsphere(const std::array<Vec<D>, D + 1>& v) {
+    // Subtracting v[0] linearizes: 2*(v_i - v_0) . c' = |v_i - v_0|^2.
+    std::array<std::array<long double, D + 1>, D> m{}; // rows: D eqns, D+1 cols (aug)
+    for (int i = 0; i < D; ++i) {
+        long double norm = 0.0L;
+        for (int d = 0; d < D; ++d) {
+            const long double diff = static_cast<long double>(v[i + 1][d]) - v[0][d];
+            m[i][d]                = 2.0L * diff;
+            norm += diff * diff;
+        }
+        m[i][D] = norm;
+    }
+    // Gaussian elimination with partial pivoting.
+    for (int col = 0; col < D; ++col) {
+        int pivot = col;
+        for (int r = col + 1; r < D; ++r) {
+            if (std::fabs(static_cast<double>(m[r][col])) >
+                std::fabs(static_cast<double>(m[pivot][col]))) {
+                pivot = r;
+            }
+        }
+        std::swap(m[col], m[pivot]);
+        for (int r = col + 1; r < D; ++r) {
+            const long double f = m[r][col] / m[col][col];
+            for (int c = col; c <= D; ++c) m[r][c] -= f * m[col][c];
+        }
+    }
+    std::array<long double, D> cp{};
+    for (int r = D - 1; r >= 0; --r) {
+        long double s = m[r][D];
+        for (int c = r + 1; c < D; ++c) s -= m[r][c] * cp[c];
+        cp[r] = s / m[r][r];
+    }
+    Circumsphere<D> out;
+    long double r2 = 0.0L;
+    for (int d = 0; d < D; ++d) {
+        out.center[d] = static_cast<double>(cp[d] + static_cast<long double>(v[0][d]));
+        r2 += cp[d] * cp[d];
+    }
+    out.radius2 = static_cast<double>(r2);
+    return out;
+}
+
+template <int D>
+class Delaunay {
+public:
+    static constexpr u32 kNone       = ~u32{0};
+    static constexpr int kSimplexVerts = D + 1;
+
+    struct Simplex {
+        std::array<u32, D + 1> v;  // vertex indices (points_ indices)
+        std::array<u32, D + 1> nb; // nb[i] = simplex opposite v[i], kNone = hull
+    };
+
+    /// \param lo,hi bounding box all later insertions must fall into; the
+    ///              super-simplex is sized from it.
+    Delaunay(const Vec<D>& lo, const Vec<D>& hi) {
+        Vec<D> center;
+        double span = 1e-9;
+        for (int d = 0; d < D; ++d) {
+            center[d] = 0.5 * (lo[d] + hi[d]);
+            span      = std::max(span, hi[d] - lo[d]);
+        }
+        make_super_simplex(center, span * 10.0);
+    }
+
+    /// Inserts a point; returns its vertex index. Throws std::runtime_error
+    /// if the walk/conflict machinery breaks down (degenerate input).
+    u32 insert(const Vec<D>& p) {
+        const u32 idx = static_cast<u32>(points_.size());
+        points_.push_back(p);
+        const u32 start = locate(p);
+
+        // Grow the conflict region by BFS over in-circumsphere neighbours.
+        // Membership is tracked by epoch stamps so each insertion costs
+        // O(|cavity|), not O(#simplices ever created).
+        conflict_.clear();
+        ++epoch_;
+        mark_.resize(simplices_.size(), 0);
+        auto in_conflict = [&](u32 t) { return mark_[t] == epoch_; };
+        std::vector<u32> stack{start};
+        mark_[start] = epoch_;
+        while (!stack.empty()) {
+            const u32 s = stack.back();
+            stack.pop_back();
+            conflict_.push_back(s);
+            for (int i = 0; i <= D; ++i) {
+                const u32 t = simplices_[s].nb[i];
+                if (t == kNone || in_conflict(t) || !alive_[t]) continue;
+                if (in_sphere(t, p)) {
+                    mark_[t] = epoch_;
+                    stack.push_back(t);
+                }
+            }
+        }
+
+        // Re-triangulate: fan `idx` to every boundary facet of the cavity.
+        // facet_links maps a sorted (D-1)-subset of old facet vertices to a
+        // previously created new simplex so internal adjacencies pair up.
+        std::map<std::array<u32, D>, std::pair<u32, int>> facet_links;
+        std::vector<u32> created;
+        for (const u32 s : conflict_) {
+            for (int i = 0; i <= D; ++i) {
+                const u32 outside = simplices_[s].nb[i];
+                if (outside != kNone && in_conflict(outside)) continue;
+                // Boundary facet: vertices of s except v[i].
+                Simplex ns;
+                int k = 0;
+                for (int j = 0; j <= D; ++j) {
+                    if (j != i) ns.v[k++] = simplices_[s].v[j];
+                }
+                ns.v[D] = idx;
+                ns.nb.fill(kNone);
+                orient_positively(ns);
+                const u32 ns_id = add_simplex(ns);
+                created.push_back(ns_id);
+
+                // Link across the old facet to the surviving outside simplex.
+                link(ns_id, facet_opposite(ns_id, idx), outside, s);
+
+                // Link the D facets that contain `idx` against siblings.
+                for (int j = 0; j <= D; ++j) {
+                    if (simplices_[ns_id].v[j] == idx) continue;
+                    std::array<u32, D> key{};
+                    int kk = 0;
+                    for (int l = 0; l <= D; ++l) {
+                        const u32 w = simplices_[ns_id].v[l];
+                        if (l != j && w != idx) key[kk++] = w;
+                    }
+                    key[D - 1] = kNone; // pad (only D-1 old vertices + idx)
+                    std::sort(key.begin(), key.end());
+                    auto [it, fresh] = facet_links.try_emplace(key, ns_id, j);
+                    if (!fresh) {
+                        const auto [other, oj]    = it->second;
+                        simplices_[ns_id].nb[j]   = other;
+                        simplices_[other].nb[oj]  = ns_id;
+                    }
+                }
+            }
+        }
+        for (const u32 s : conflict_) kill_simplex(s);
+        if (!created.empty()) hint_ = created.front();
+        return idx;
+    }
+
+    u64 num_points() const { return points_.size(); }
+    const Vec<D>& point(u32 i) const { return points_[i]; }
+    bool is_super(u32 i) const { return i <= D; }
+
+    /// Invokes `fn(const Simplex&)` for every live simplex (including those
+    /// touching super vertices; filter with `is_super`).
+    template <typename F>
+    void for_each_simplex(F&& fn) const {
+        for (std::size_t s = 0; s < simplices_.size(); ++s) {
+            if (alive_[s]) fn(simplices_[s]);
+        }
+    }
+
+    u64 num_live_simplices() const {
+        u64 c = 0;
+        for (const u8 a : alive_) c += a;
+        return c;
+    }
+
+private:
+    void make_super_simplex(const Vec<D>& c, double s) {
+        Simplex root;
+        root.nb.fill(kNone);
+        if constexpr (D == 2) {
+            points_.push_back({c[0], c[1] + 4 * s});
+            points_.push_back({c[0] - 4 * s, c[1] - 3 * s});
+            points_.push_back({c[0] + 4 * s, c[1] - 3 * s});
+        } else {
+            points_.push_back({c[0] + 4 * s, c[1] + 4 * s, c[2] + 4 * s});
+            points_.push_back({c[0] + 4 * s, c[1] - 4 * s, c[2] - 4 * s});
+            points_.push_back({c[0] - 4 * s, c[1] + 4 * s, c[2] - 4 * s});
+            points_.push_back({c[0] - 4 * s, c[1] - 4 * s, c[2] + 4 * s});
+        }
+        for (int i = 0; i <= D; ++i) root.v[i] = static_cast<u32>(i);
+        orient_positively(root);
+        add_simplex(root);
+        hint_ = 0;
+    }
+
+    u32 add_simplex(const Simplex& s) {
+        simplices_.push_back(s);
+        alive_.push_back(1);
+        return static_cast<u32>(simplices_.size() - 1);
+    }
+
+    void kill_simplex(u32 s) { alive_[s] = 0; }
+
+    int facet_opposite(u32 s, u32 vertex) const {
+        for (int i = 0; i <= D; ++i) {
+            if (simplices_[s].v[i] == vertex) return i;
+        }
+        assert(false && "vertex not in simplex");
+        return -1;
+    }
+
+    /// Links new simplex `ns` (facet position `i`) with `outside`, fixing
+    /// outside's back pointer that previously pointed at dead simplex `dead`.
+    void link(u32 ns, int i, u32 outside, u32 dead) {
+        simplices_[ns].nb[i] = outside;
+        if (outside == kNone) return;
+        for (int j = 0; j <= D; ++j) {
+            if (simplices_[outside].nb[j] == dead) {
+                simplices_[outside].nb[j] = ns;
+                return;
+            }
+        }
+        assert(false && "stale adjacency");
+    }
+
+    /// Signed orientation determinant of (D+1) points.
+    long double orientation(const std::array<u32, D + 1>& v) const {
+        if constexpr (D == 2) {
+            std::array<std::array<long double, 3>, 3> m{};
+            for (int r = 0; r < 2; ++r) {
+                for (int d = 0; d < 2; ++d) {
+                    m[r][d] = static_cast<long double>(points_[v[r + 1]][d]) -
+                              points_[v[0]][d];
+                }
+            }
+            return m[0][0] * m[1][1] - m[0][1] * m[1][0];
+        } else {
+            std::array<std::array<long double, 3>, 3> m{};
+            for (int r = 0; r < 3; ++r) {
+                for (int d = 0; d < 3; ++d) {
+                    m[r][d] = static_cast<long double>(points_[v[r + 1]][d]) -
+                              points_[v[0]][d];
+                }
+            }
+            return dt_detail::det3(m);
+        }
+    }
+
+    void orient_positively(Simplex& s) const {
+        if (orientation(s.v) < 0.0L) std::swap(s.v[0], s.v[1]);
+    }
+
+    /// p strictly inside the circumsphere of (positively oriented) simplex s.
+    bool in_sphere(u32 s, const Vec<D>& p) const {
+        const auto& v = simplices_[s].v;
+        if constexpr (D == 2) {
+            std::array<std::array<long double, 3>, 3> m{};
+            for (int r = 0; r < 3; ++r) {
+                long double norm = 0.0L;
+                for (int d = 0; d < 2; ++d) {
+                    const long double diff =
+                        static_cast<long double>(points_[v[r]][d]) - p[d];
+                    m[r][d] = diff;
+                    norm += diff * diff;
+                }
+                m[r][2] = norm;
+            }
+            // CCW triangle: positive determinant <=> p inside.
+            return dt_detail::det3(m) > 0.0L;
+        } else {
+            std::array<std::array<long double, 4>, 4> m{};
+            for (int r = 0; r < 4; ++r) {
+                long double norm = 0.0L;
+                for (int d = 0; d < 3; ++d) {
+                    const long double diff =
+                        static_cast<long double>(points_[v[r]][d]) - p[d];
+                    m[r][d] = diff;
+                    norm += diff * diff;
+                }
+                m[r][3] = norm;
+            }
+            // Sign convention fixed by our positive orientation: det < 0
+            // <=> inside (validated against `circumsphere` in the tests).
+            return dt_detail::det4(m) < 0.0L;
+        }
+    }
+
+    /// True if p is not on the outer side of any facet of s.
+    bool contains(u32 s, const Vec<D>& p, int* reject_facet) const {
+        for (int i = 0; i <= D; ++i) {
+            // Replace v[i] with a virtual point p: orientation < 0 means p
+            // lies on the far side of the facet opposite v[i].
+            const long double det = orientation_with(simplices_[s].v, i, p);
+            if (det < 0.0L) {
+                *reject_facet = i;
+                return false;
+            }
+        }
+        return true;
+    }
+
+    long double orientation_with(std::array<u32, D + 1> v, int replace,
+                                 const Vec<D>& p) const {
+        // Same determinant as `orientation` with vertex `replace` = p.
+        auto coord = [&](int r, int d) -> long double {
+            return r == replace ? static_cast<long double>(p[d])
+                                : static_cast<long double>(points_[v[r]][d]);
+        };
+        if constexpr (D == 2) {
+            const long double m00 = coord(1, 0) - coord(0, 0);
+            const long double m01 = coord(1, 1) - coord(0, 1);
+            const long double m10 = coord(2, 0) - coord(0, 0);
+            const long double m11 = coord(2, 1) - coord(0, 1);
+            return m00 * m11 - m01 * m10;
+        } else {
+            std::array<std::array<long double, 3>, 3> m{};
+            for (int r = 0; r < 3; ++r) {
+                for (int d = 0; d < 3; ++d) {
+                    m[r][d] = coord(r + 1, d) - coord(0, d);
+                }
+            }
+            return dt_detail::det3(m);
+        }
+    }
+
+    /// Visibility walk from the hint; linear-scan fallback caps pathologies.
+    u32 locate(const Vec<D>& p) const {
+        u32 s           = alive_[hint_] ? hint_ : first_alive();
+        const u64 limit = 4 * simplices_.size() + 64;
+        for (u64 step = 0; step < limit; ++step) {
+            int reject = -1;
+            if (contains(s, p, &reject)) return s;
+            const u32 next = simplices_[s].nb[reject];
+            if (next == kNone || !alive_[next]) break; // fall through to scan
+            s = next;
+        }
+        for (std::size_t i = 0; i < simplices_.size(); ++i) {
+            int reject = -1;
+            if (alive_[i] && contains(static_cast<u32>(i), p, &reject)) {
+                return static_cast<u32>(i);
+            }
+        }
+        throw std::runtime_error("Delaunay::locate failed (degenerate input?)");
+    }
+
+    u32 first_alive() const {
+        for (std::size_t i = 0; i < simplices_.size(); ++i) {
+            if (alive_[i]) return static_cast<u32>(i);
+        }
+        throw std::runtime_error("Delaunay: no live simplices");
+    }
+
+    std::vector<Vec<D>> points_;
+    std::vector<Simplex> simplices_;
+    std::vector<u8> alive_;
+    std::vector<u32> mark_;   // epoch stamps for cavity membership
+    u32 epoch_ = 0;
+    std::vector<u32> conflict_;
+    u32 hint_ = 0;
+};
+
+} // namespace kagen

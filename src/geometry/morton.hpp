@@ -1,0 +1,85 @@
+/// \file morton.hpp
+/// \brief Morton (Z-order) codes in 2 and 3 dimensions (paper §5.1: chunks
+///        are distributed to PEs along a Z-order curve for locality, and the
+///        recursive binomial splitting of space *is* a walk down the Morton
+///        prefix tree).
+#pragma once
+
+#include <array>
+
+#include "common/types.hpp"
+
+namespace kagen {
+
+namespace detail {
+
+/// Spreads the low 32 bits of x so consecutive bits land 2 apart.
+inline constexpr u64 spread2(u64 x) {
+    x &= 0xffffffffULL;
+    x = (x | (x << 16)) & 0x0000ffff0000ffffULL;
+    x = (x | (x << 8)) & 0x00ff00ff00ff00ffULL;
+    x = (x | (x << 4)) & 0x0f0f0f0f0f0f0f0fULL;
+    x = (x | (x << 2)) & 0x3333333333333333ULL;
+    x = (x | (x << 1)) & 0x5555555555555555ULL;
+    return x;
+}
+
+inline constexpr u64 compact2(u64 x) {
+    x &= 0x5555555555555555ULL;
+    x = (x | (x >> 1)) & 0x3333333333333333ULL;
+    x = (x | (x >> 2)) & 0x0f0f0f0f0f0f0f0fULL;
+    x = (x | (x >> 4)) & 0x00ff00ff00ff00ffULL;
+    x = (x | (x >> 8)) & 0x0000ffff0000ffffULL;
+    x = (x | (x >> 16)) & 0x00000000ffffffffULL;
+    return x;
+}
+
+/// Spreads the low 21 bits of x so consecutive bits land 3 apart.
+inline constexpr u64 spread3(u64 x) {
+    x &= 0x1fffffULL;
+    x = (x | (x << 32)) & 0x1f00000000ffffULL;
+    x = (x | (x << 16)) & 0x1f0000ff0000ffULL;
+    x = (x | (x << 8)) & 0x100f00f00f00f00fULL;
+    x = (x | (x << 4)) & 0x10c30c30c30c30c3ULL;
+    x = (x | (x << 2)) & 0x1249249249249249ULL;
+    return x;
+}
+
+inline constexpr u64 compact3(u64 x) {
+    x &= 0x1249249249249249ULL;
+    x = (x | (x >> 2)) & 0x10c30c30c30c30c3ULL;
+    x = (x | (x >> 4)) & 0x100f00f00f00f00fULL;
+    x = (x | (x >> 8)) & 0x1f0000ff0000ffULL;
+    x = (x | (x >> 16)) & 0x1f00000000ffffULL;
+    x = (x | (x >> 32)) & 0x1fffffULL;
+    return x;
+}
+
+} // namespace detail
+
+/// Interleaves D grid coordinates into a Morton code and back.
+template <int D>
+struct Morton;
+
+template <>
+struct Morton<2> {
+    static constexpr u64 encode(const std::array<u64, 2>& c) {
+        return detail::spread2(c[0]) | (detail::spread2(c[1]) << 1);
+    }
+    static constexpr std::array<u64, 2> decode(u64 m) {
+        return {detail::compact2(m), detail::compact2(m >> 1)};
+    }
+};
+
+template <>
+struct Morton<3> {
+    static constexpr u64 encode(const std::array<u64, 3>& c) {
+        return detail::spread3(c[0]) | (detail::spread3(c[1]) << 1) |
+               (detail::spread3(c[2]) << 2);
+    }
+    static constexpr std::array<u64, 3> decode(u64 m) {
+        return {detail::compact3(m), detail::compact3(m >> 1), detail::compact3(m >> 2)};
+    }
+};
+
+} // namespace kagen

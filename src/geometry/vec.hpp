@@ -1,0 +1,61 @@
+/// \file vec.hpp
+/// \brief Tiny fixed-dimension point/vector type for the spatial generators.
+#pragma once
+
+#include <array>
+#include <cmath>
+
+#include "common/types.hpp"
+
+namespace kagen {
+
+template <int D>
+struct Vec {
+    std::array<double, D> x{};
+
+    double& operator[](int i) { return x[i]; }
+    double operator[](int i) const { return x[i]; }
+
+    friend Vec operator+(Vec a, const Vec& b) {
+        for (int i = 0; i < D; ++i) a.x[i] += b.x[i];
+        return a;
+    }
+    friend Vec operator-(Vec a, const Vec& b) {
+        for (int i = 0; i < D; ++i) a.x[i] -= b.x[i];
+        return a;
+    }
+    friend bool operator==(const Vec& a, const Vec& b) { return a.x == b.x; }
+};
+
+template <int D>
+inline double distance_sq(const Vec<D>& a, const Vec<D>& b) {
+    double s = 0.0;
+    for (int i = 0; i < D; ++i) {
+        const double d = a.x[i] - b.x[i];
+        s += d * d;
+    }
+    return s;
+}
+
+template <int D>
+inline double distance(const Vec<D>& a, const Vec<D>& b) {
+    return std::sqrt(distance_sq(a, b));
+}
+
+/// Distance on the unit torus [0,1)^D (periodic boundary conditions, used by
+/// the Delaunay generator, paper §2.1.4).
+template <int D>
+inline double torus_distance_sq(const Vec<D>& a, const Vec<D>& b) {
+    double s = 0.0;
+    for (int i = 0; i < D; ++i) {
+        double d = std::fabs(a.x[i] - b.x[i]);
+        if (d > 0.5) d = 1.0 - d;
+        s += d * d;
+    }
+    return s;
+}
+
+using Vec2 = Vec<2>;
+using Vec3 = Vec<3>;
+
+} // namespace kagen

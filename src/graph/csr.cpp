@@ -1,0 +1,50 @@
+#include "graph/csr.hpp"
+
+#include <limits>
+
+namespace kagen {
+
+Csr build_csr(const EdgeList& edges, u64 n, bool symmetrize) {
+    Csr g;
+    g.offsets.assign(n + 1, 0);
+    for (const auto& [u, v] : edges) {
+        ++g.offsets[u + 1];
+        if (symmetrize) ++g.offsets[v + 1];
+    }
+    for (u64 i = 1; i <= n; ++i) g.offsets[i] += g.offsets[i - 1];
+    g.targets.resize(g.offsets[n]);
+    std::vector<u64> cursor(g.offsets.begin(), g.offsets.end() - 1);
+    for (const auto& [u, v] : edges) {
+        g.targets[cursor[u]++] = v;
+        if (symmetrize) g.targets[cursor[v]++] = u;
+    }
+    return g;
+}
+
+std::vector<u64> bfs(const Csr& g, VertexId source, u64* reached) {
+    constexpr u64 kUnreached = std::numeric_limits<u64>::max();
+    std::vector<u64> dist(g.num_vertices(), kUnreached);
+    std::vector<VertexId> frontier{source};
+    std::vector<VertexId> next;
+    dist[source] = 0;
+    u64 count    = 1;
+    u64 level    = 0;
+    while (!frontier.empty()) {
+        ++level;
+        next.clear();
+        for (VertexId v : frontier) {
+            for (const VertexId* t = g.begin(v); t != g.end(v); ++t) {
+                if (dist[*t] == kUnreached) {
+                    dist[*t] = level;
+                    next.push_back(*t);
+                    ++count;
+                }
+            }
+        }
+        frontier.swap(next);
+    }
+    if (reached != nullptr) *reached = count;
+    return dist;
+}
+
+} // namespace kagen

@@ -1,0 +1,42 @@
+/// \file edge_list.hpp
+/// \brief Edge-list manipulation helpers shared by tests, benches, examples.
+#pragma once
+
+#include <algorithm>
+
+#include "common/types.hpp"
+
+namespace kagen {
+
+/// Orders each undirected edge as (min, max).
+inline void canonicalize(EdgeList& edges) {
+    for (auto& [u, v] : edges) {
+        if (u > v) std::swap(u, v);
+    }
+}
+
+/// Sorts and removes duplicate edges in place.
+inline void sort_unique(EdgeList& edges) {
+    std::sort(edges.begin(), edges.end());
+    edges.erase(std::unique(edges.begin(), edges.end()), edges.end());
+}
+
+/// Canonical undirected edge set: canonicalized, sorted, deduplicated.
+inline EdgeList undirected_set(EdgeList edges) {
+    canonicalize(edges);
+    sort_unique(edges);
+    return edges;
+}
+
+/// Appends `src` to `dst`.
+inline void append(EdgeList& dst, const EdgeList& src) {
+    dst.insert(dst.end(), src.begin(), src.end());
+}
+
+/// True if any edge is a self-loop.
+inline bool has_self_loop(const EdgeList& edges) {
+    return std::any_of(edges.begin(), edges.end(),
+                       [](const Edge& e) { return e.first == e.second; });
+}
+
+} // namespace kagen

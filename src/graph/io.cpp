@@ -1,0 +1,102 @@
+#include "graph/io.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <stdexcept>
+
+#include "graph/csr.hpp"
+
+namespace kagen::io {
+namespace {
+
+struct File {
+    explicit File(const std::string& path, const char* mode)
+        : handle(std::fopen(path.c_str(), mode)) {
+        if (handle == nullptr) {
+            throw std::runtime_error("cannot open '" + path + "'");
+        }
+    }
+    ~File() { std::fclose(handle); }
+    File(const File&)            = delete;
+    File& operator=(const File&) = delete;
+
+    FILE* handle;
+};
+
+} // namespace
+
+void write_edge_list(const std::string& path, const EdgeList& edges,
+                     const std::string& comment) {
+    File f(path, "w");
+    if (!comment.empty()) std::fprintf(f.handle, "%% %s\n", comment.c_str());
+    for (const auto& [u, v] : edges) {
+        std::fprintf(f.handle, "%llu %llu\n", static_cast<unsigned long long>(u),
+                     static_cast<unsigned long long>(v));
+    }
+}
+
+EdgeList read_edge_list(const std::string& path) {
+    File f(path, "r");
+    EdgeList edges;
+    char line[256];
+    while (std::fgets(line, sizeof(line), f.handle) != nullptr) {
+        if (line[0] == '%' || line[0] == '\n') continue;
+        unsigned long long u = 0, v = 0;
+        if (std::sscanf(line, "%llu %llu", &u, &v) == 2) {
+            edges.emplace_back(u, v);
+        }
+    }
+    return edges;
+}
+
+void write_edge_list_binary(const std::string& path, const EdgeList& edges) {
+    File f(path, "wb");
+    const u64 count = edges.size();
+    std::fwrite(&count, sizeof(count), 1, f.handle);
+    for (const auto& [u, v] : edges) {
+        const u64 pair[2] = {u, v};
+        std::fwrite(pair, sizeof(u64), 2, f.handle);
+    }
+}
+
+EdgeList read_edge_list_binary(const std::string& path) {
+    File f(path, "rb");
+    u64 count = 0;
+    if (std::fread(&count, sizeof(count), 1, f.handle) != 1) {
+        throw std::runtime_error("truncated binary edge list: " + path);
+    }
+    EdgeList edges;
+    edges.reserve(count);
+    for (u64 i = 0; i < count; ++i) {
+        u64 pair[2];
+        if (std::fread(pair, sizeof(u64), 2, f.handle) != 2) {
+            throw std::runtime_error("truncated binary edge list: " + path);
+        }
+        edges.emplace_back(pair[0], pair[1]);
+    }
+    return edges;
+}
+
+void write_metis(const std::string& path, const EdgeList& edges, u64 n) {
+    Csr g = build_csr(edges, n, /*symmetrize=*/true);
+    // Deterministic, human-checkable rows regardless of input edge order.
+    for (VertexId v = 0; v < n; ++v) {
+        std::sort(g.targets.begin() + static_cast<i64>(g.offsets[v]),
+                  g.targets.begin() + static_cast<i64>(g.offsets[v + 1]));
+    }
+    File f(path, "w");
+    std::fprintf(f.handle, "%llu %zu\n", static_cast<unsigned long long>(n),
+                 edges.size());
+    for (VertexId v = 0; v < n; ++v) {
+        const VertexId* t   = g.begin(v);
+        const VertexId* end = g.end(v);
+        for (; t != end; ++t) {
+            // METIS vertices are 1-indexed.
+            std::fprintf(f.handle, t + 1 == end ? "%llu" : "%llu ",
+                         static_cast<unsigned long long>(*t + 1));
+        }
+        std::fputc('\n', f.handle);
+    }
+}
+
+} // namespace kagen::io

@@ -1,0 +1,28 @@
+/// \file io.hpp
+/// \brief Graph output/input formats: plain edge lists (text + binary) and
+///        the METIS adjacency format, so generated instances feed directly
+///        into partitioners and benchmark harnesses.
+#pragma once
+
+#include <string>
+
+#include "common/types.hpp"
+
+namespace kagen::io {
+
+/// Writes "u v" per line; optional '%'-prefixed header comment.
+void write_edge_list(const std::string& path, const EdgeList& edges,
+                     const std::string& comment = {});
+
+/// Reads the text format written by `write_edge_list` ('%' lines skipped).
+EdgeList read_edge_list(const std::string& path);
+
+/// Binary format: u64 count, then count pairs of u64 (host endianness).
+void write_edge_list_binary(const std::string& path, const EdgeList& edges);
+EdgeList read_edge_list_binary(const std::string& path);
+
+/// METIS graph format (1-indexed, undirected, canonical single-occurrence
+/// input edges are symmetrized).
+void write_metis(const std::string& path, const EdgeList& edges, u64 n);
+
+} // namespace kagen::io

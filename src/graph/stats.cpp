@@ -1,0 +1,85 @@
+#include "graph/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "graph/csr.hpp"
+#include "graph/union_find.hpp"
+
+namespace kagen {
+
+std::vector<u64> degrees(const EdgeList& edges, u64 n) {
+    std::vector<u64> degs(n, 0);
+    for (const auto& [u, v] : edges) {
+        ++degs[u];
+        ++degs[v];
+    }
+    return degs;
+}
+
+std::vector<u64> out_degrees(const EdgeList& edges, u64 n) {
+    std::vector<u64> degs(n, 0);
+    for (const auto& e : edges) ++degs[e.first];
+    return degs;
+}
+
+double average_degree(const std::vector<u64>& degs) {
+    if (degs.empty()) return 0.0;
+    u128 sum = 0;
+    for (u64 d : degs) sum += d;
+    return static_cast<double>(sum) / static_cast<double>(degs.size());
+}
+
+u64 max_degree(const std::vector<u64>& degs) {
+    return degs.empty() ? 0 : *std::max_element(degs.begin(), degs.end());
+}
+
+double power_law_exponent_mle(const std::vector<u64>& degs, u64 d_min) {
+    double log_sum = 0.0;
+    u64 count      = 0;
+    for (u64 d : degs) {
+        if (d >= d_min) {
+            log_sum += std::log(static_cast<double>(d) /
+                                (static_cast<double>(d_min) - 0.5));
+            ++count;
+        }
+    }
+    if (count == 0 || log_sum <= 0.0) return 0.0;
+    return 1.0 + static_cast<double>(count) / log_sum;
+}
+
+double global_clustering_coefficient(const EdgeList& edges, u64 n) {
+    const Csr g = build_csr(edges, n, /*symmetrize=*/true);
+    // Sort each adjacency row once so triangle closure is a merge-count.
+    std::vector<VertexId> adj = g.targets;
+    for (VertexId v = 0; v < n; ++v) {
+        std::sort(adj.data() + g.offsets[v], adj.data() + g.offsets[v + 1]);
+    }
+    u128 triangles_x3 = 0; // counts each triangle once per corner
+    u128 wedges       = 0;
+    for (VertexId v = 0; v < n; ++v) {
+        const u64 d = g.degree(v);
+        if (d < 2) continue;
+        wedges += static_cast<u128>(d) * (d - 1) / 2;
+        const VertexId* vb = adj.data() + g.offsets[v];
+        const VertexId* ve = adj.data() + g.offsets[v + 1];
+        for (const VertexId* p = vb; p != ve; ++p) {
+            for (const VertexId* q = p + 1; q != ve; ++q) {
+                // Is {*p, *q} an edge? Binary search in *p's (sorted) row.
+                const VertexId* nb = adj.data() + g.offsets[*p];
+                const VertexId* ne = adj.data() + g.offsets[*p + 1];
+                if (std::binary_search(nb, ne, *q)) ++triangles_x3;
+            }
+        }
+    }
+    if (wedges == 0) return 0.0;
+    return static_cast<double>(triangles_x3) / static_cast<double>(wedges);
+}
+
+u64 connected_components(const EdgeList& edges, u64 n) {
+    UnionFind uf(n);
+    for (const auto& [u, v] : edges) uf.unite(u, v);
+    return uf.components();
+}
+
+} // namespace kagen

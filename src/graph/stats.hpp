@@ -1,0 +1,34 @@
+/// \file stats.hpp
+/// \brief Structural statistics used to validate generated graphs against
+///        their models (degree distribution, clustering, power-law fit, ...).
+#pragma once
+
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace kagen {
+
+/// Per-vertex degrees of an undirected edge list over vertices [0, n).
+/// Each undirected edge must appear exactly once (canonical form).
+std::vector<u64> degrees(const EdgeList& edges, u64 n);
+
+/// Out-degrees of a directed edge list.
+std::vector<u64> out_degrees(const EdgeList& edges, u64 n);
+
+double average_degree(const std::vector<u64>& degs);
+u64 max_degree(const std::vector<u64>& degs);
+
+/// Maximum-likelihood estimate of the power-law exponent gamma for the tail
+/// d >= d_min of the degree distribution (Clauset-Shalizi-Newman discrete
+/// approximation: gamma = 1 + k / sum(ln(d_i / (d_min - 0.5)))).
+double power_law_exponent_mle(const std::vector<u64>& degs, u64 d_min);
+
+/// Exact global clustering coefficient (3 * triangles / open wedges).
+/// O(sum_v deg(v)^2); intended for validation-sized graphs.
+double global_clustering_coefficient(const EdgeList& edges, u64 n);
+
+/// Number of connected components (undirected), via union-find.
+u64 connected_components(const EdgeList& edges, u64 n);
+
+} // namespace kagen

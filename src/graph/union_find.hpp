@@ -1,0 +1,46 @@
+/// \file union_find.hpp
+/// \brief Union-find with path halving and union by size.
+#pragma once
+
+#include <numeric>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace kagen {
+
+class UnionFind {
+public:
+    explicit UnionFind(u64 n) : parent_(n), size_(n, 1), components_(n) {
+        std::iota(parent_.begin(), parent_.end(), u64{0});
+    }
+
+    u64 find(u64 x) {
+        while (parent_[x] != x) {
+            parent_[x] = parent_[parent_[x]]; // path halving
+            x          = parent_[x];
+        }
+        return x;
+    }
+
+    /// Returns true if the two sets were distinct before the union.
+    bool unite(u64 a, u64 b) {
+        a = find(a);
+        b = find(b);
+        if (a == b) return false;
+        if (size_[a] < size_[b]) std::swap(a, b);
+        parent_[b] = a;
+        size_[a] += size_[b];
+        --components_;
+        return true;
+    }
+
+    u64 components() const { return components_; }
+
+private:
+    std::vector<u64> parent_;
+    std::vector<u64> size_;
+    u64 components_;
+};
+
+} // namespace kagen

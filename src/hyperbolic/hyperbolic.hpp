@@ -1,0 +1,185 @@
+/// \file hyperbolic.hpp
+/// \brief Hyperbolic-plane substrate shared by the RHG generators (§7).
+///
+/// Implements the threshold random hyperbolic graph model of Krioukov et
+/// al. [9]: n points on a disk of radius R = 2 ln n + C, angle uniform,
+/// radius with density  f(r) = α sinh(αr) / (cosh(αR) − 1); two vertices are
+/// adjacent iff their hyperbolic distance is below R. The power-law exponent
+/// is γ = 1 + 2α; C is derived from the target average degree via Eq. (2).
+///
+/// `HypGrid` is the deterministic point structure all RHG variants (and the
+/// test brute force) share: the disk is cut into O(log n) constant-height
+/// annuli, each annulus into P angular chunks, each chunk into power-of-two
+/// cells (§7.1/§7.2.1). Counts at every level come from hash-seeded
+/// binomial/multinomial variates, so any PE can recompute any chunk —
+/// including the vertex *ids* — without communication, and the point set
+/// depends only on (params, seed, P), never on which PE asks.
+///
+/// Per §7.2.1, points carry precomputed coth(r), 1/sinh(r), cos(θ), sin(θ):
+/// a distance threshold test then costs five multiplications and two
+/// additions (Eq. 9) instead of trigonometric calls.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+#include <vector>
+
+#include "common/types.hpp"
+#include "prng/rng.hpp"
+
+namespace kagen::hyp {
+
+struct Params {
+    u64 n          = 0;
+    double avg_deg = 8.0;  ///< target average degree d̄
+    double gamma   = 3.0;  ///< power-law exponent (> 2), α = (γ-1)/2
+    u64 seed       = 1;
+};
+
+/// A point of the hyperbolic disk with the §7.2.1 precomputations.
+struct HypPoint {
+    VertexId id       = 0;
+    double r          = 0.0;
+    double theta      = 0.0;
+    double coth_r     = 0.0;
+    double inv_sinh_r = 0.0;
+    double cos_t      = 0.0;
+    double sin_t      = 0.0;
+};
+
+/// Model geometry: disk radius, radial distribution, distance predicates.
+class Space {
+public:
+    explicit Space(const Params& params)
+        : n_(params.n), alpha_((params.gamma - 1.0) / 2.0) {
+        // Eq. (1)/(2): R = 2 ln n + C with C from the target degree.
+        const double k = alpha_ / (alpha_ - 0.5);
+        const double c = 2.0 * std::log(2.0 * k * k / (params.avg_deg * std::numbers::pi));
+        radius_        = 2.0 * std::log(static_cast<double>(std::max<u64>(n_, 2))) + c;
+        radius_        = std::max(radius_, 1e-3);
+        cosh_r_        = std::cosh(radius_);
+    }
+
+    double alpha() const { return alpha_; }
+    double radius() const { return radius_; }
+    u64 n() const { return n_; }
+
+    /// P(radius <= r), Eq. (A.2).
+    double radial_cdf(double r) const {
+        return (std::cosh(alpha_ * r) - 1.0) / (std::cosh(alpha_ * radius_) - 1.0);
+    }
+
+    /// Inverse radial cdf restricted to [a, b): maps u in [0,1).
+    double inv_radial(double a, double b, double u) const {
+        const double ca = std::cosh(alpha_ * a);
+        const double cb = std::cosh(alpha_ * b);
+        return std::acosh(ca + u * (cb - ca)) / alpha_;
+    }
+
+    /// Maximum angular deviation of a neighbour at radius `b` from a point
+    /// at radius `r` (Eq. A.3); the query overestimate uses the annulus'
+    /// lower boundary for `b`.
+    double delta_theta(double r, double b) const {
+        if (r + b < radius_) return std::numbers::pi;
+        const double num = std::cosh(r) * std::cosh(b) - cosh_r_;
+        const double den = std::sinh(r) * std::sinh(b);
+        if (den <= 0.0) return std::numbers::pi;
+        return std::acos(std::clamp(num / den, -1.0, 1.0));
+    }
+
+    /// Hyperbolic distance (Eq. 4) — the slow reference form.
+    double distance(const HypPoint& p, const HypPoint& q) const {
+        const double arg = std::cosh(p.r) * std::cosh(q.r) -
+                           std::sinh(p.r) * std::sinh(q.r) * std::cos(p.theta - q.theta);
+        return std::acosh(std::max(arg, 1.0));
+    }
+
+    /// Threshold adjacency test via the precomputed form (Eq. 9): no
+    /// trigonometric evaluations on the hot path.
+    bool edge(const HypPoint& p, const HypPoint& q) const {
+        if (p.r + q.r < radius_) return true; // triangle inequality shortcut
+        if (p.r < kTinyRadius || q.r < kTinyRadius) {
+            return distance(p, q) < radius_; // stable fallback near the pole
+        }
+        const double lhs = p.cos_t * q.cos_t + p.sin_t * q.sin_t; // cos(Δθ)
+        const double rhs =
+            p.coth_r * q.coth_r - cosh_r_ * p.inv_sinh_r * q.inv_sinh_r;
+        return lhs > rhs;
+    }
+
+    HypPoint make_point(VertexId id, double r, double theta) const {
+        HypPoint p;
+        p.id    = id;
+        p.r     = r;
+        p.theta = theta;
+        const double sh = std::sinh(r);
+        p.coth_r        = sh > 0.0 ? std::cosh(r) / sh : 0.0;
+        p.inv_sinh_r    = sh > 0.0 ? 1.0 / sh : 0.0;
+        p.cos_t         = std::cos(theta);
+        p.sin_t         = std::sin(theta);
+        return p;
+    }
+
+private:
+    static constexpr double kTinyRadius = 1e-8;
+
+    u64 n_;
+    double alpha_;
+    double radius_;
+    double cosh_r_;
+};
+
+/// Deterministic annulus/chunk/cell point structure.
+class HypGrid {
+public:
+    HypGrid(const Params& params, u64 num_chunks);
+
+    const Space& space() const { return space_; }
+    u32 num_annuli() const { return static_cast<u32>(annulus_count_.size()); }
+    u64 num_chunks() const { return num_chunks_; }
+
+    double annulus_lower(u32 a) const { return bounds_[a]; }
+    double annulus_upper(u32 a) const { return bounds_[a + 1]; }
+    u64 annulus_count(u32 a) const { return annulus_count_[a]; }
+    u64 annulus_first_id(u32 a) const { return annulus_offset_[a]; }
+
+    double chunk_width() const {
+        return 2.0 * std::numbers::pi / static_cast<double>(num_chunks_);
+    }
+    double chunk_begin(u64 chunk) const {
+        return chunk_width() * static_cast<double>(chunk);
+    }
+    u64 chunk_of_angle(double theta) const;
+
+    /// Number of points of annulus `a` inside chunk `chunk` — O(log P).
+    u64 chunk_count(u32 a, u64 chunk) const { return descend(a, chunk).count; }
+
+    /// The chunk's points, sorted by angle, with their global ids.
+    /// Bit-identical on every PE.
+    std::vector<HypPoint> chunk_points(u32 a, u64 chunk) const;
+
+    /// Every point of the disk (test/baseline helper).
+    std::vector<HypPoint> all_points() const;
+
+private:
+    static constexpr u64 kTagAnnuli = 0xa22u;
+    static constexpr u64 kTagChunk  = 0xc1142u;
+    static constexpr u64 kTagCell   = 0xce11u;
+    static constexpr u64 kTagPoint  = 0x90147u;
+
+    struct Node {
+        u64 count;
+        u64 prefix;
+    };
+    Node descend(u32 a, u64 chunk) const;
+
+    Space space_;
+    u64 seed_;
+    u64 num_chunks_;
+    std::vector<double> bounds_;        // k + 1 radial boundaries
+    std::vector<u64> annulus_count_;    // points per annulus
+    std::vector<u64> annulus_offset_;   // id offset per annulus
+};
+
+} // namespace kagen::hyp

@@ -1,0 +1,143 @@
+/// \file kagen.hpp
+/// \brief Public facade of the KaGen reproduction: one entry point for all
+///        communication-free generators.
+///
+/// Usage:
+/// \code
+///   kagen::Config cfg;
+///   cfg.model = kagen::Model::Rgg2D;
+///   cfg.n     = 1 << 20;
+///   cfg.r     = 0.001;
+///   auto result = kagen::generate(cfg, rank, size);   // this PE's edges
+/// \endcode
+///
+/// Every generator is a pure function of (cfg, rank, size): ranks can run
+/// on MPI processes, threads, or sequentially — outputs are bit-identical.
+/// See DESIGN.md for the model-by-model algorithm map (paper sections) and
+/// the per-model headers under er/, rgg/, rdg/, rhg/, ba/, rmat/ for
+/// algorithmic detail.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+#include "ba/ba.hpp"
+#include "common/types.hpp"
+#include "er/er.hpp"
+#include "graph/edge_list.hpp"
+#include "hyperbolic/hyperbolic.hpp"
+#include "rdg/rdg.hpp"
+#include "rgg/rgg.hpp"
+#include "rhg/rhg.hpp"
+#include "rmat/rmat.hpp"
+
+namespace kagen {
+
+enum class Model {
+    GnmDirected,   ///< Erdős–Rényi G(n,m), directed (§4.1)
+    GnmUndirected, ///< Erdős–Rényi G(n,m), undirected (§4.2)
+    GnpDirected,   ///< Gilbert G(n,p), directed (§4.3)
+    GnpUndirected, ///< Gilbert G(n,p), undirected (§4.3)
+    Rgg2D,         ///< random geometric graph, unit square (§5)
+    Rgg3D,         ///< random geometric graph, unit cube (§5)
+    Rdg2D,         ///< random Delaunay graph, unit torus (§6)
+    Rdg3D,         ///< random Delaunay graph, 3-torus (§6)
+    Rhg,           ///< random hyperbolic graph, in-memory generator (§7.1)
+    RhgStreaming,  ///< random hyperbolic graph, streaming generator (§7.2)
+    Ba,            ///< Barabási–Albert preferential attachment (§3.5.1)
+    Rmat,          ///< R-MAT baseline (§3.5.2)
+};
+
+struct Config {
+    Model model = Model::GnmDirected;
+    u64 n       = 0;    ///< vertices (for Rmat: rounded up to 2^ceil(log2 n))
+    u64 m       = 0;    ///< edges (GnmDirected/GnmUndirected/Rmat)
+    double p    = 0.0;  ///< edge probability (Gnp*)
+    double r    = 0.0;  ///< radius (Rgg*)
+    double avg_deg = 8.0; ///< target average degree (Rhg*)
+    double gamma   = 3.0; ///< power-law exponent (Rhg*)
+    u64 ba_degree  = 4;   ///< attachment edges per vertex (Ba)
+    double rmat_a = 0.57, rmat_b = 0.19, rmat_c = 0.19;
+    u64 seed = 1;
+};
+
+struct Result {
+    EdgeList edges; ///< this PE's edges (semantics per model header)
+    u64 n = 0;      ///< global vertex count
+};
+
+inline const char* model_name(Model model) {
+    switch (model) {
+        case Model::GnmDirected:   return "gnm_directed";
+        case Model::GnmUndirected: return "gnm_undirected";
+        case Model::GnpDirected:   return "gnp_directed";
+        case Model::GnpUndirected: return "gnp_undirected";
+        case Model::Rgg2D:         return "rgg2d";
+        case Model::Rgg3D:         return "rgg3d";
+        case Model::Rdg2D:         return "rdg2d";
+        case Model::Rdg3D:         return "rdg3d";
+        case Model::Rhg:           return "rhg";
+        case Model::RhgStreaming:  return "rhg_streaming";
+        case Model::Ba:            return "ba";
+        case Model::Rmat:          return "rmat";
+    }
+    return "unknown";
+}
+
+/// Generates the edges PE `rank` of `size` is responsible for.
+inline Result generate(const Config& cfg, u64 rank, u64 size) {
+    if (size == 0 || rank >= size) {
+        throw std::invalid_argument("kagen::generate: rank/size out of range");
+    }
+    Result out;
+    out.n = cfg.n;
+    switch (cfg.model) {
+        case Model::GnmDirected:
+            out.edges = er::gnm_directed(cfg.n, cfg.m, cfg.seed, rank, size);
+            break;
+        case Model::GnmUndirected:
+            out.edges = er::gnm_undirected(cfg.n, cfg.m, cfg.seed, rank, size);
+            break;
+        case Model::GnpDirected:
+            out.edges = er::gnp_directed(cfg.n, cfg.p, cfg.seed, rank, size);
+            break;
+        case Model::GnpUndirected:
+            out.edges = er::gnp_undirected(cfg.n, cfg.p, cfg.seed, rank, size);
+            break;
+        case Model::Rgg2D:
+            out.edges = rgg::generate<2>({cfg.n, cfg.r, cfg.seed}, rank, size);
+            break;
+        case Model::Rgg3D:
+            out.edges = rgg::generate<3>({cfg.n, cfg.r, cfg.seed}, rank, size);
+            break;
+        case Model::Rdg2D:
+            out.edges = rdg::generate<2>({cfg.n, cfg.seed}, rank, size);
+            break;
+        case Model::Rdg3D:
+            out.edges = rdg::generate<3>({cfg.n, cfg.seed}, rank, size);
+            break;
+        case Model::Rhg:
+            out.edges = rhg::generate_inmemory(
+                {cfg.n, cfg.avg_deg, cfg.gamma, cfg.seed}, rank, size);
+            break;
+        case Model::RhgStreaming:
+            out.edges = rhg::generate_streaming(
+                {cfg.n, cfg.avg_deg, cfg.gamma, cfg.seed}, rank, size);
+            break;
+        case Model::Ba:
+            out.edges = ba::generate({cfg.n, cfg.ba_degree, cfg.seed}, rank, size);
+            break;
+        case Model::Rmat: {
+            u64 log_n = 0;
+            while ((u64{1} << log_n) < cfg.n) ++log_n;
+            out.n     = u64{1} << log_n;
+            out.edges = rmat::generate(
+                {log_n, cfg.m, cfg.rmat_a, cfg.rmat_b, cfg.rmat_c, cfg.seed}, rank,
+                size);
+            break;
+        }
+    }
+    return out;
+}
+
+} // namespace kagen

@@ -1,0 +1,63 @@
+#include "pe/pe.hpp"
+
+#include <atomic>
+#include <chrono>
+
+namespace kagen::pe {
+
+std::vector<EdgeList> run_all(u64 size, const RankFn& fn, bool threaded) {
+    std::vector<EdgeList> results(size);
+    if (!threaded || size <= 1) {
+        for (u64 rank = 0; rank < size; ++rank) results[rank] = fn(rank, size);
+        return results;
+    }
+    std::vector<std::thread> threads;
+    threads.reserve(size);
+    for (u64 rank = 0; rank < size; ++rank) {
+        threads.emplace_back([&, rank] { results[rank] = fn(rank, size); });
+    }
+    for (auto& t : threads) t.join();
+    return results;
+}
+
+double run_timed(u64 size, const RankFn& fn, u64 hardware_threads) {
+    if (hardware_threads == 0) hardware_threads = std::thread::hardware_concurrency();
+    // Oversubscription guard: if there are more ranks than cores, ranks are
+    // processed by a worker pool; the measured makespan then corresponds to
+    // the per-core aggregate — still the quantity weak/strong scaling plots
+    // care about, and documented in EXPERIMENTS.md.
+    const u64 workers = std::min<u64>(size, hardware_threads);
+    std::atomic<u64> next{0};
+    const auto start = std::chrono::steady_clock::now();
+    std::vector<std::thread> threads;
+    threads.reserve(workers);
+    for (u64 w = 0; w < workers; ++w) {
+        threads.emplace_back([&] {
+            for (;;) {
+                const u64 rank = next.fetch_add(1);
+                if (rank >= size) return;
+                EdgeList edges = fn(rank, size); // result dropped: timing only
+                // Keep the optimizer from deleting the generation.
+                asm volatile("" : : "r"(edges.data()) : "memory");
+            }
+        });
+    }
+    for (auto& t : threads) t.join();
+    const auto stop = std::chrono::steady_clock::now();
+    return std::chrono::duration<double>(stop - start).count();
+}
+
+EdgeList union_undirected(const std::vector<EdgeList>& per_pe) {
+    EdgeList all;
+    for (const auto& part : per_pe) append(all, part);
+    return undirected_set(std::move(all));
+}
+
+EdgeList union_directed(const std::vector<EdgeList>& per_pe) {
+    EdgeList all;
+    for (const auto& part : per_pe) append(all, part);
+    sort_unique(all);
+    return all;
+}
+
+} // namespace kagen::pe

@@ -1,0 +1,38 @@
+/// \file pe.hpp
+/// \brief Logical-PE simulation harness.
+///
+/// The paper's generators are communication-free: each MPI rank computes its
+/// part of the graph as a pure function of (rank, P, seed, parameters). This
+/// harness substitutes MPI with logical PEs executed either sequentially
+/// (deterministic debugging / correctness tests) or on std::threads (scaling
+/// benchmarks). DESIGN.md §1 documents why this preserves the paper's
+/// behaviour: the per-PE code path is identical, and the harness additionally
+/// lets tests check cross-PE invariants exactly.
+#pragma once
+
+#include <functional>
+#include <thread>
+#include <vector>
+
+#include "common/types.hpp"
+#include "graph/edge_list.hpp"
+
+namespace kagen::pe {
+
+/// Work a single PE performs: produce its local edge list.
+using RankFn = std::function<EdgeList(u64 rank, u64 size)>;
+
+/// Runs ranks 0..size-1 and returns each rank's edge list.
+std::vector<EdgeList> run_all(u64 size, const RankFn& fn, bool threaded = false);
+
+/// Wall-clock seconds for executing all ranks concurrently on threads
+/// (the "makespan" — what an MPI job's slowest rank would take).
+double run_timed(u64 size, const RankFn& fn, u64 hardware_threads = 0);
+
+/// Deduplicated, canonicalized union of all per-PE undirected outputs.
+EdgeList union_undirected(const std::vector<EdgeList>& per_pe);
+
+/// Deduplicated, sorted union of directed outputs.
+EdgeList union_directed(const std::vector<EdgeList>& per_pe);
+
+} // namespace kagen::pe

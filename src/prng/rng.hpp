@@ -1,0 +1,79 @@
+/// \file rng.hpp
+/// \brief Deterministic PRNG wrapper seeded by SpookyHash.
+///
+/// The paper's implementation note (§8.1) initializes a Mersenne Twister
+/// from each hash value. Our seeding discipline creates one stream per
+/// *structural unit* (recursion node, chunk, cell) — often millions of tiny
+/// streams — so generator construction cost matters as much as throughput.
+/// We therefore substitute SplitMix64 (O(1) construction, passes standard
+/// statistical batteries) for the Twister (whose 312-word state expansion
+/// would dominate cell-granular generation); the distribution-level
+/// chi-square tests in tests/ validate every consumer of these streams.
+/// DESIGN.md §1 records the substitution.
+#pragma once
+
+#include <cassert>
+#include <initializer_list>
+
+#include "common/types.hpp"
+#include "prng/spooky.hpp"
+
+namespace kagen {
+
+class Rng {
+public:
+    explicit Rng(u64 seed) : state_(seed) {
+        // Decorrelate trivially related seeds before the first output.
+        (void)bits();
+    }
+
+    /// PRNG seeded from the hash of (seed, structural id words) — the core
+    /// pseudorandomization discipline: identical ids => identical streams.
+    static Rng for_ids(u64 seed, std::initializer_list<u64> ids) {
+        return Rng(spooky::hash_words(seed, ids));
+    }
+
+    /// 64 uniformly random bits (SplitMix64 step).
+    u64 bits() {
+        state_ += 0x9e3779b97f4a7c15ULL;
+        u64 z = state_;
+        z     = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+        z     = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+        return z ^ (z >> 31);
+    }
+
+    /// Uniform integer in [0, bound), bound >= 1. Unbiased (rejection).
+    u64 range(u64 bound) {
+        assert(bound >= 1);
+        const u64 threshold = (0 - bound) % bound; // 2^64 mod bound
+        for (;;) {
+            const u64 r = bits();
+            if (r >= threshold) return r % bound;
+        }
+    }
+
+    /// Uniform integer in [0, bound) for 128-bit bounds.
+    u128 range128(u128 bound) {
+        assert(bound >= 1);
+        if (bound <= ~u64{0}) return range(static_cast<u64>(bound));
+        const u128 threshold = (0 - bound) % bound;
+        for (;;) {
+            const u128 r = (static_cast<u128>(bits()) << 64) | bits();
+            if (r >= threshold) return r % bound;
+        }
+    }
+
+    /// Uniform double in [0, 1) with 53 random bits.
+    double uniform() { return static_cast<double>(bits() >> 11) * 0x1.0p-53; }
+
+    /// Uniform double in (0, 1]; safe as a log() argument.
+    double uniform_pos() { return 1.0 - uniform(); }
+
+    /// Uniform double in [lo, hi).
+    double uniform(double lo, double hi) { return lo + (hi - lo) * uniform(); }
+
+private:
+    u64 state_;
+};
+
+} // namespace kagen

@@ -1,0 +1,108 @@
+#include "prng/spooky.hpp"
+
+#include <cstring>
+
+namespace kagen::spooky {
+namespace {
+
+constexpr u64 kConst = 0xdeadbeefdeadbeefULL;
+
+inline u64 rot64(u64 x, int k) { return (x << k) | (x >> (64 - k)); }
+
+inline void short_mix(u64& h0, u64& h1, u64& h2, u64& h3) {
+    h2 = rot64(h2, 50); h2 += h3; h0 ^= h2;
+    h3 = rot64(h3, 52); h3 += h0; h1 ^= h3;
+    h0 = rot64(h0, 30); h0 += h1; h2 ^= h0;
+    h1 = rot64(h1, 41); h1 += h2; h3 ^= h1;
+    h2 = rot64(h2, 54); h2 += h3; h0 ^= h2;
+    h3 = rot64(h3, 48); h3 += h0; h1 ^= h3;
+    h0 = rot64(h0, 38); h0 += h1; h2 ^= h0;
+    h1 = rot64(h1, 37); h1 += h2; h3 ^= h1;
+    h2 = rot64(h2, 62); h2 += h3; h0 ^= h2;
+    h3 = rot64(h3, 34); h3 += h0; h1 ^= h3;
+    h0 = rot64(h0, 5);  h0 += h1; h2 ^= h0;
+    h1 = rot64(h1, 36); h1 += h2; h3 ^= h1;
+}
+
+inline void short_end(u64& h0, u64& h1, u64& h2, u64& h3) {
+    h3 ^= h2; h2 = rot64(h2, 15); h3 += h2;
+    h0 ^= h3; h3 = rot64(h3, 52); h0 += h3;
+    h1 ^= h0; h0 = rot64(h0, 26); h1 += h0;
+    h2 ^= h1; h1 = rot64(h1, 51); h2 += h1;
+    h3 ^= h2; h2 = rot64(h2, 28); h3 += h2;
+    h0 ^= h3; h3 = rot64(h3, 9);  h0 += h3;
+    h1 ^= h0; h0 = rot64(h0, 47); h1 += h0;
+    h2 ^= h1; h1 = rot64(h1, 54); h2 += h1;
+    h3 ^= h2; h2 = rot64(h2, 32); h3 += h2;
+    h0 ^= h3; h3 = rot64(h3, 25); h0 += h3;
+    h1 ^= h0; h0 = rot64(h0, 63); h1 += h0;
+}
+
+inline u64 load_u64(const u8* p) {
+    u64 v;
+    std::memcpy(&v, p, sizeof(v));
+    return v;
+}
+
+inline u32 load_u32(const u8* p) {
+    u32 v;
+    std::memcpy(&v, p, sizeof(v));
+    return v;
+}
+
+} // namespace
+
+Hash128 hash128(const void* data, std::size_t length, u64 seed1, u64 seed2) {
+    const u8* p           = static_cast<const u8*>(data);
+    std::size_t remainder = length % 32;
+
+    u64 a = seed1;
+    u64 b = seed2;
+    u64 c = kConst;
+    u64 d = kConst;
+
+    if (length > 15) {
+        const std::size_t blocks = length / 32;
+        for (std::size_t i = 0; i < blocks; ++i) {
+            c += load_u64(p);
+            d += load_u64(p + 8);
+            short_mix(a, b, c, d);
+            a += load_u64(p + 16);
+            b += load_u64(p + 24);
+            p += 32;
+        }
+        if (remainder >= 16) {
+            c += load_u64(p);
+            d += load_u64(p + 8);
+            short_mix(a, b, c, d);
+            p += 16;
+            remainder -= 16;
+        }
+    }
+
+    // Mix the last 0..15 bytes plus the length into (c, d).
+    d += static_cast<u64>(length) << 56;
+    switch (remainder) {
+        case 15: d += static_cast<u64>(p[14]) << 48; [[fallthrough]];
+        case 14: d += static_cast<u64>(p[13]) << 40; [[fallthrough]];
+        case 13: d += static_cast<u64>(p[12]) << 32; [[fallthrough]];
+        case 12: d += load_u32(p + 8); c += load_u64(p); break;
+        case 11: d += static_cast<u64>(p[10]) << 16; [[fallthrough]];
+        case 10: d += static_cast<u64>(p[9]) << 8; [[fallthrough]];
+        case 9:  d += static_cast<u64>(p[8]); [[fallthrough]];
+        case 8:  c += load_u64(p); break;
+        case 7:  c += static_cast<u64>(p[6]) << 48; [[fallthrough]];
+        case 6:  c += static_cast<u64>(p[5]) << 40; [[fallthrough]];
+        case 5:  c += static_cast<u64>(p[4]) << 32; [[fallthrough]];
+        case 4:  c += load_u32(p); break;
+        case 3:  c += static_cast<u64>(p[2]) << 16; [[fallthrough]];
+        case 2:  c += static_cast<u64>(p[1]) << 8; [[fallthrough]];
+        case 1:  c += static_cast<u64>(p[0]); break;
+        case 0:  c += kConst; d += kConst; break;
+        default: break;
+    }
+    short_end(a, b, c, d);
+    return Hash128{a, b};
+}
+
+} // namespace kagen::spooky

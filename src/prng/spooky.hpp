@@ -1,0 +1,46 @@
+/// \file spooky.hpp
+/// \brief SpookyHash-V2-style 128/64-bit hash used for pseudorandomization.
+///
+/// Every "communication-free" recomputation in this library boils down to the
+/// same discipline the paper describes (§2.2): the seed of a PRNG is derived
+/// by hashing a *structural identifier* (recursion-subtree id, chunk id, cell
+/// id, ...) so that any PE recomputing the same structural unit draws exactly
+/// the same random values.
+///
+/// This is a from-scratch implementation of Bob Jenkins' SpookyHash V2
+/// *ShortHash* round structure (the paper's KaGen uses SpookyHash as well).
+/// All messages hashed here are tiny (a handful of 64-bit words), which is
+/// precisely ShortHash's domain; the implementation nevertheless accepts
+/// arbitrary lengths. Byte-exact equality with the reference implementation
+/// is not required anywhere — only statistical quality and determinism, both
+/// of which are unit-tested.
+#pragma once
+
+#include <cstddef>
+#include <initializer_list>
+
+#include "common/types.hpp"
+
+namespace kagen::spooky {
+
+struct Hash128 {
+    u64 h1;
+    u64 h2;
+};
+
+/// Hashes `length` bytes at `data` with a 128-bit seed.
+Hash128 hash128(const void* data, std::size_t length, u64 seed1, u64 seed2);
+
+/// 64-bit convenience form.
+inline u64 hash64(const void* data, std::size_t length, u64 seed) {
+    return hash128(data, length, seed, seed).h1;
+}
+
+/// Hashes a short sequence of 64-bit words under `seed`. This is the seeding
+/// primitive used throughout the library:
+///   seed_of(recursion node) = hash_words(base_seed, {structural ids...}).
+inline u64 hash_words(u64 seed, std::initializer_list<u64> words) {
+    return hash64(std::data(words), words.size() * sizeof(u64), seed);
+}
+
+} // namespace kagen::spooky

@@ -1,0 +1,50 @@
+/// \file rgg.hpp
+/// \brief Communication-free random geometric graph generator (paper §5).
+///
+/// The unit cube is partitioned into 2^(D*b) chunks (b chosen so there are at
+/// least P chunks); chunks are assigned to PEs as contiguous Morton-order
+/// blocks ("locality-aware via a Z-order curve", §5.1). Chunks subdivide
+/// into a power-of-two cell grid whose side length is kept >= r whenever the
+/// chunk granularity allows; otherwise the halo widens to ceil(r/side)
+/// layers. Each PE generates its own cells plus the halo cells of
+/// neighbouring chunks by *recomputation* through the shared `PointGrid`
+/// substrate — no communication. Every edge incident to a local vertex is
+/// emitted; edges crossing a PE boundary therefore appear on both owners.
+#pragma once
+
+#include "common/types.hpp"
+#include "geometry/point_grid.hpp"
+#include "graph/edge_list.hpp"
+
+namespace kagen::rgg {
+
+struct Params {
+    u64 n       = 0;   ///< number of vertices
+    double r    = 0.0; ///< connection radius
+    u64 seed    = 1;
+};
+
+/// Chunk depth: smallest b with 2^(D*b) >= size.
+template <int D>
+u32 chunk_levels(u64 size);
+
+/// Cell depth used for (n, r, size); >= chunk_levels and chosen so cells
+/// have side >= r when possible but stay at O(n) cells.
+template <int D>
+u32 cell_levels(u64 n, double r, u64 size);
+
+/// The deterministic point set the generator operates on. Exposed so tests
+/// and the naive baseline can build the exact reference graph.
+template <int D>
+PointGrid<D> point_grid(const Params& params, u64 size);
+
+/// Edges of PE `rank`: all edges incident to vertices of its chunks.
+/// Canonical (min-id, max-id) orientation; each edge appears once per PE.
+template <int D>
+EdgeList generate(const Params& params, u64 rank, u64 size);
+
+/// Theta(n^2) reference over the same point set (tests, small benches).
+template <int D>
+EdgeList brute_force(const Params& params, u64 size);
+
+} // namespace kagen::rgg

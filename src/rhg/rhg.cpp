@@ -1,0 +1,267 @@
+#include "rhg/rhg.hpp"
+
+#include <algorithm>
+#include <map>
+#include <numbers>
+
+namespace kagen::rhg {
+namespace {
+
+constexpr double kTwoPi = 2.0 * std::numbers::pi;
+
+/// Memoizing accessor for recomputed chunks (the §7.1 "recompute non-local
+/// chunks encountered during the search and store them for future
+/// searches").
+class ChunkCache {
+public:
+    explicit ChunkCache(const hyp::HypGrid& grid) : grid_(grid) {}
+
+    const std::vector<hyp::HypPoint>& get(u32 annulus, u64 chunk) {
+        const auto key = std::make_pair(annulus, chunk);
+        auto it        = cache_.find(key);
+        if (it == cache_.end()) {
+            it = cache_.emplace(key, grid_.chunk_points(annulus, chunk)).first;
+        }
+        return it->second;
+    }
+
+private:
+    const hyp::HypGrid& grid_;
+    std::map<std::pair<u32, u64>, std::vector<hyp::HypPoint>> cache_;
+};
+
+/// Invokes `fn(u)` for every point of annulus `a` whose angle lies within
+/// [center - width, center + width] (mod 2π). Exploits the chunk points'
+/// angle order via binary search.
+template <typename F>
+void for_candidates(ChunkCache& cache, const hyp::HypGrid& grid, u32 a, double center,
+                    double width, F&& fn) {
+    const auto scan = [&](double lo, double hi) { // 0 <= lo <= hi <= 2π
+        const u64 c_lo = grid.chunk_of_angle(lo);
+        const u64 c_hi = grid.chunk_of_angle(std::nextafter(hi, 0.0));
+        for (u64 c = c_lo; c <= c_hi; ++c) {
+            const auto& pts = cache.get(a, c);
+            auto it = std::lower_bound(pts.begin(), pts.end(), lo,
+                                       [](const hyp::HypPoint& p, double v) {
+                                           return p.theta < v;
+                                       });
+            for (; it != pts.end() && it->theta <= hi; ++it) fn(*it);
+        }
+    };
+    if (width >= std::numbers::pi) {
+        scan(0.0, kTwoPi);
+        return;
+    }
+    double lo = center - width;
+    double hi = center + width;
+    if (lo < 0.0) {
+        scan(lo + kTwoPi, kTwoPi);
+        lo = 0.0;
+    }
+    if (hi > kTwoPi) {
+        scan(0.0, hi - kTwoPi);
+        hi = kTwoPi;
+    }
+    scan(lo, hi);
+}
+
+} // namespace
+
+u32 first_streaming_annulus(const hyp::HypGrid& grid) {
+    const auto& space  = grid.space();
+    const double limit = grid.chunk_width() / 2.0; // requests must fit a chunk
+    for (u32 a = 0; a < grid.num_annuli(); ++a) {
+        if (space.delta_theta(grid.annulus_lower(a), grid.annulus_lower(a)) <= limit) {
+            return a;
+        }
+    }
+    return grid.num_annuli(); // everything global
+}
+
+EdgeList generate_inmemory(const hyp::Params& params, u64 rank, u64 size) {
+    const hyp::HypGrid grid(params, size);
+    const auto& space = grid.space();
+    ChunkCache cache(grid);
+
+    EdgeList edges;
+    for (u32 a = 0; a < grid.num_annuli(); ++a) {
+        for (const auto& v : cache.get(a, rank)) {
+            // Annulus-wise query, inward and outward (§7.1): the angular
+            // window is the Lemma-10 overestimate from the annulus' lower
+            // boundary; non-local chunks are recomputed via the cache.
+            for (u32 j = 0; j < grid.num_annuli(); ++j) {
+                const double width = space.delta_theta(v.r, grid.annulus_lower(j));
+                for_candidates(cache, grid, j, v.theta, width,
+                               [&](const hyp::HypPoint& u) {
+                                   if (u.id != v.id && space.edge(u, v)) {
+                                       edges.emplace_back(std::min(u.id, v.id),
+                                                          std::max(u.id, v.id));
+                                   }
+                               });
+            }
+        }
+    }
+    // Each local pair was found from both endpoints; dedupe locally.
+    sort_unique(edges);
+    return edges;
+}
+
+EdgeList generate_streaming(const hyp::Params& params, u64 rank, u64 size) {
+    const hyp::HypGrid grid(params, size);
+    const auto& space    = grid.space();
+    const u32 stream_lo  = first_streaming_annulus(grid);
+    const u32 num_annuli = grid.num_annuli();
+    EdgeList edges;
+
+    // ---- Global phase (§7.2): vertices of the global annuli are
+    // recomputed on every PE; request execution is distributed.
+    std::vector<hyp::HypPoint> global_pts;
+    for (u32 a = 0; a < stream_lo; ++a) {
+        for (u64 c = 0; c < grid.num_chunks(); ++c) {
+            const auto pts = grid.chunk_points(a, c);
+            global_pts.insert(global_pts.end(), pts.begin(), pts.end());
+        }
+    }
+    // Global-global pairs, each executed by the PE owning the lower-id
+    // endpoint's angular position (even distribution, no duplication).
+    for (std::size_t i = 0; i < global_pts.size(); ++i) {
+        for (std::size_t j = i + 1; j < global_pts.size(); ++j) {
+            const auto& u = global_pts[i];
+            const auto& v = global_pts[j];
+            const auto& low = u.id < v.id ? u : v;
+            if (grid.chunk_of_angle(low.theta) != rank) continue;
+            if (space.edge(u, v)) {
+                edges.emplace_back(std::min(u.id, v.id), std::max(u.id, v.id));
+            }
+        }
+    }
+
+    // The streaming target chunks this PE owns or must replicate for the
+    // endgame: its own chunk plus the two adjacent ones (§7.2 final phase).
+    std::vector<u64> target_chunks{rank};
+    if (size > 1) {
+        target_chunks.push_back((rank + 1) % size);
+        target_chunks.push_back((rank + size - 1) % size);
+        std::sort(target_chunks.begin(), target_chunks.end());
+        target_chunks.erase(std::unique(target_chunks.begin(), target_chunks.end()),
+                            target_chunks.end());
+    }
+
+    // A request: angular interval plus the (precomputed) source point.
+    struct Request {
+        double begin;
+        double end;
+        u32 annulus;         // source annulus
+        hyp::HypPoint src;
+    };
+
+    // Local chunk points per annulus, generated once.
+    std::vector<std::vector<hyp::HypPoint>> local_pts(num_annuli);
+    for (u32 a = stream_lo; a < num_annuli; ++a) {
+        local_pts[a] = grid.chunk_points(a, rank);
+    }
+
+    for (u32 j = stream_lo; j < num_annuli; ++j) {
+        // Local points of annulus j (sweep targets) plus replicated
+        // neighbours; sorted by angle.
+        std::vector<hyp::HypPoint> targets;
+        for (const u64 c : target_chunks) {
+            if (c == rank) {
+                targets.insert(targets.end(), local_pts[j].begin(), local_pts[j].end());
+            } else {
+                const auto pts = grid.chunk_points(j, c);
+                targets.insert(targets.end(), pts.begin(), pts.end());
+            }
+        }
+        std::sort(targets.begin(), targets.end(),
+                  [](const auto& a, const auto& b) { return a.theta < b.theta; });
+        if (targets.empty()) continue;
+
+        // Requests of local sources from annuli stream_lo..j; a request into
+        // annulus j has width delta_theta(r_src, lower_j) <= half a chunk.
+        std::vector<Request> requests;
+        for (u32 i = stream_lo; i <= j; ++i) {
+            for (const auto& v : local_pts[i]) {
+                const double w = space.delta_theta(v.r, grid.annulus_lower(j));
+                requests.push_back({v.theta - w, v.theta + w, i, v});
+            }
+        }
+        // Global requests clipped to this PE: match all global sources
+        // against local targets (their executions are distributed by
+        // target ownership).
+        for (const auto& v : global_pts) {
+            const double w = space.delta_theta(v.r, grid.annulus_lower(j));
+            for (const auto& u : local_pts[j]) {
+                double d = std::fabs(u.theta - v.theta);
+                d        = std::min(d, kTwoPi - d);
+                if (d <= w && space.edge(u, v)) {
+                    edges.emplace_back(std::min(u.id, v.id), std::max(u.id, v.id));
+                }
+            }
+        }
+
+        // Unwrap: duplicate requests crossing 0/2π so every target angle in
+        // [0, 2π) is covered by begin <= θ <= end on the real line.
+        const std::size_t base = requests.size();
+        for (std::size_t q = 0; q < base; ++q) {
+            if (requests[q].begin < 0.0) {
+                Request r = requests[q];
+                r.begin += kTwoPi;
+                r.end += kTwoPi;
+                requests.push_back(r);
+            } else if (requests[q].end > kTwoPi) {
+                Request r = requests[q];
+                r.begin -= kTwoPi;
+                r.end -= kTwoPi;
+                requests.push_back(r);
+            }
+        }
+        std::sort(requests.begin(), requests.end(),
+                  [](const Request& a, const Request& b) { return a.begin < b.begin; });
+
+        // Angular sweep: advance over targets, activating requests whose
+        // begin has passed and evicting (overwriting) expired ones (§7.2.1).
+        std::vector<Request> active;
+        std::size_t next = 0;
+        for (const auto& u : targets) {
+            while (next < requests.size() && requests[next].begin <= u.theta) {
+                active.push_back(requests[next++]);
+            }
+            for (std::size_t q = 0; q < active.size();) {
+                if (active[q].end < u.theta) {
+                    active[q] = active.back();
+                    active.pop_back();
+                    continue;
+                }
+                const auto& v = active[q].src;
+                // Same-annulus pairs are emitted once, from the lower id.
+                const bool ordered = active[q].annulus < j || v.id < u.id;
+                if (ordered && v.id != u.id && space.edge(u, v)) {
+                    edges.emplace_back(std::min(u.id, v.id), std::max(u.id, v.id));
+                }
+                ++q;
+            }
+        }
+    }
+    sort_unique(edges);
+    return edges;
+}
+
+EdgeList brute_force(const hyp::Params& params, u64 size) {
+    const hyp::HypGrid grid(params, size);
+    const auto& space = grid.space();
+    const auto pts    = grid.all_points();
+    EdgeList edges;
+    for (std::size_t i = 0; i < pts.size(); ++i) {
+        for (std::size_t j = i + 1; j < pts.size(); ++j) {
+            if (space.edge(pts[i], pts[j])) {
+                edges.emplace_back(std::min(pts[i].id, pts[j].id),
+                                   std::max(pts[i].id, pts[j].id));
+            }
+        }
+    }
+    sort_unique(edges);
+    return edges;
+}
+
+} // namespace kagen::rhg

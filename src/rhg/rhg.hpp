@@ -1,0 +1,43 @@
+/// \file rhg.hpp
+/// \brief The two random-hyperbolic-graph generators of paper §7.
+///
+/// Both consume the identical deterministic point structure (`hyp::HypGrid`),
+/// so their outputs are comparable edge-for-edge:
+///
+///  * `generate_inmemory` (§7.1, "RHG") — query-centric: each PE generates
+///    its chunk's vertices, then for every vertex performs an annulus-wise
+///    neighbourhood query (outward *and* inward), recomputing non-local
+///    chunks on demand through a chunk cache. Produces a partitioned output:
+///    every edge incident to a local vertex is emitted locally.
+///
+///  * `generate_streaming` (§7.2, "sRHG") — request-centric: annuli split
+///    into lower *global* annuli (requests wider than a chunk; their
+///    vertices are recomputed on all PEs and their request executions
+///    distributed) and upper *streaming* annuli (requests no wider than a
+///    chunk; processed by an angular sweep whose active-request set uses the
+///    vectorization-friendly precomputed form, with an endgame over the two
+///    adjacent chunks). Emits each edge from its request source, so the
+///    union over PEs is the full graph but the output is not partitioned —
+///    exactly the paper's stated trade-off.
+#pragma once
+
+#include "common/types.hpp"
+#include "graph/edge_list.hpp"
+#include "hyperbolic/hyperbolic.hpp"
+
+namespace kagen::rhg {
+
+/// In-memory query-centric generator (§7.1).
+EdgeList generate_inmemory(const hyp::Params& params, u64 rank, u64 size);
+
+/// Streaming request-centric generator (§7.2).
+EdgeList generate_streaming(const hyp::Params& params, u64 rank, u64 size);
+
+/// Theta(n^2) all-pairs reference over the same point set.
+EdgeList brute_force(const hyp::Params& params, u64 size);
+
+/// First streaming annulus index for `size` PEs (test/bench introspection);
+/// annuli below it are "global" (§7.2).
+u32 first_streaming_annulus(const hyp::HypGrid& grid);
+
+} // namespace kagen::rhg

@@ -1,0 +1,75 @@
+/// \file sampling.hpp
+/// \brief Sampling without replacement: sequential and distributed (§2.2).
+///
+/// Three layers:
+///  1. `floyd_sample`      — Floyd's O(k) expected set sampling (unsorted).
+///  2. `sorted_sample`     — Vitter's sequential sampling (Method A for dense
+///                           draws, skip-based Method D otherwise); emits the
+///                           sample in increasing order with O(k) work.
+///  3. `ChunkedSampler`    — the divide-and-conquer distributed sampler of
+///                           Sanders et al. [18]: the universe is split into
+///                           consecutive chunks, the number of samples per
+///                           chunk subtree follows a hypergeometric
+///                           distribution, and per-subtree hash seeds make
+///                           every PE that walks the same subtree draw the
+///                           same variates — no communication required.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "common/types.hpp"
+#include "prng/rng.hpp"
+#include "variates/variates.hpp"
+
+namespace kagen {
+
+/// Floyd's algorithm: k distinct integers from [0, universe), unsorted.
+std::vector<u64> floyd_sample(Rng& rng, u64 universe, u64 k);
+
+/// Sequential sampling of `k` distinct integers from [0, universe), emitted
+/// in increasing order through `emit`. Uses Vitter's Method D (skip
+/// distances via acceptance-rejection) and falls back to Method A when the
+/// sampling fraction is high. Expected time O(k) regardless of universe.
+void sorted_sample(Rng& rng, u64 universe, u64 k, const std::function<void(u64)>& emit);
+
+/// Describes a universe partitioned into `num_chunks` consecutive chunks.
+/// `chunk_size(i)` must be O(1); prefix sizes are derived by the sampler's
+/// recursion, never by scanning.
+struct ChunkUniverse {
+    u64 num_chunks = 0;
+    std::function<u128(u64)> chunk_size;              // size of chunk i
+    std::function<u128(u64, u64)> range_size;         // total size of chunks [lo, hi)
+};
+
+/// Convenience constructor for a universe of `n` rows split into nearly
+/// equal consecutive blocks of rows, each row having `row_width` slots.
+ChunkUniverse make_row_universe(u64 n, u64 num_chunks, u128 row_width);
+
+/// Divide-and-conquer distributed sampler.
+class ChunkedSampler {
+public:
+    /// \param seed     base seed; all subtree seeds derive from it.
+    /// \param universe chunk layout (sizes must be stable).
+    /// \param samples  total number of samples over the whole universe.
+    ChunkedSampler(u64 seed, ChunkUniverse universe, u64 samples);
+
+    /// Number of samples that land in chunk `chunk` (deterministic in
+    /// `seed`; identical on every PE). O(log num_chunks) variates.
+    u64 samples_in_chunk(u64 chunk) const;
+
+    /// Emits the samples of chunk `chunk` as offsets *within* the chunk,
+    /// in increasing order. Deterministic in `seed`.
+    void sample_chunk(u64 chunk, const std::function<void(u64)>& emit) const;
+
+private:
+    /// Recursion over chunk index ranges; returns the sample count of the
+    /// subtree containing `chunk` at its leaf.
+    u64 descend(u64 chunk) const;
+
+    u64 seed_;
+    ChunkUniverse universe_;
+    u64 samples_;
+};
+
+} // namespace kagen

@@ -1,0 +1,223 @@
+#include "variates/variates.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace kagen {
+namespace {
+
+/// log(k!) - log(Stirling core): tail of the Stirling approximation,
+/// tabulated for k <= 9 and continued by the asymptotic series above.
+double stirling_tail(double k) {
+    static constexpr double kTail[] = {
+        0.0810614667953272,  0.0413406959554092,  0.0276779256849983,
+        0.02079067210376509, 0.0166446911898211,  0.0138761288230707,
+        0.0118967099458917,  0.0104112652619720,  0.00925546218271273,
+        0.00833056343336287};
+    if (k <= 9.0) return kTail[static_cast<int>(k)];
+    const double kp1sq = (k + 1) * (k + 1);
+    return (1.0 / 12 - (1.0 / 360 - 1.0 / 1260 / kp1sq) / kp1sq) / (k + 1);
+}
+
+/// Exact inversion along the pmf recurrence; requires n*p modest (the walk
+/// length is O(n*p + sqrt(n*p))) and p <= 0.5.
+u64 binomial_inversion(Rng& rng, u64 n, double p) {
+    const double q = 1.0 - p;
+    const double s = p / q;
+    // P(X = 0) = q^n, computed in log space to avoid premature underflow.
+    double f = std::exp(static_cast<double>(n) * std::log1p(-p));
+    double u = rng.uniform();
+    u64 k    = 0;
+    double cdf = f;
+    while (u > cdf && k < n) {
+        ++k;
+        f *= s * (static_cast<double>(n - k + 1) / static_cast<double>(k));
+        cdf += f;
+        if (f <= 0.0) break; // pmf underflow: all remaining mass ~ 0
+    }
+    return k;
+}
+
+/// BTRS transformed rejection (Hörmann 1993), expected O(1).
+/// Requires p <= 0.5 and n*p >= 10.
+u64 binomial_btrs(Rng& rng, u64 n, double p) {
+    const double nd     = static_cast<double>(n);
+    const double stddev = std::sqrt(nd * p * (1 - p));
+    const double b      = 1.15 + 2.53 * stddev;
+    const double a      = -0.0873 + 0.0248 * b + 0.01 * p;
+    const double c      = nd * p + 0.5;
+    const double v_r    = 0.92 - 4.2 / b;
+    const double r      = p / (1 - p);
+    const double alpha  = (2.83 + 5.1 / b) * stddev;
+    const double m      = std::floor((nd + 1) * p);
+
+    for (;;) {
+        double u        = rng.uniform() - 0.5;
+        double v        = rng.uniform();
+        const double us = 0.5 - std::fabs(u);
+        const double kd = std::floor((2 * a / us + b) * u + c);
+        if (us >= 0.07 && v <= v_r) return static_cast<u64>(kd);
+        if (kd < 0 || kd > nd) continue;
+        v = std::log(v * alpha / (a / (us * us) + b));
+        const double upper =
+            (m + 0.5) * std::log((m + 1) / (r * (nd - m + 1))) +
+            (nd + 1) * std::log((nd - m + 1) / (nd - kd + 1)) +
+            (kd + 0.5) * std::log(r * (nd - kd + 1) / (kd + 1)) +
+            stirling_tail(m) + stirling_tail(nd - m) - stirling_tail(kd) -
+            stirling_tail(nd - kd);
+        if (v <= upper) return static_cast<u64>(kd);
+    }
+}
+
+/// Exact inversion over the hypergeometric support, walking the pmf
+/// recurrence from the lower support bound. The support has
+/// min(success, fail, n, total-n) + 1 points, so callers route here only
+/// when that span is small. All pmf-start arithmetic runs in long double:
+/// the lgamma terms reach ~1e16 for populations near 2^50 and their
+/// *differences* are O(1), so the extra mantissa bits are load-bearing.
+u64 hypergeometric_inversion(Rng& rng, double total, double success, double n) {
+    const double fail = total - success;
+    const double kmin = std::max(0.0, n - fail);
+    const double kmax = std::min(n, success);
+    // log pmf at kmin via lgamma:
+    // p(k) = C(success, k) C(fail, n-k) / C(total, n)
+    const long double logp0 =
+        std::lgammal(static_cast<long double>(success) + 1) -
+        std::lgammal(static_cast<long double>(kmin) + 1) -
+        std::lgammal(static_cast<long double>(success - kmin) + 1) +
+        std::lgammal(static_cast<long double>(fail) + 1) -
+        std::lgammal(static_cast<long double>(n - kmin) + 1) -
+        std::lgammal(static_cast<long double>(fail - n + kmin) + 1) -
+        (std::lgammal(static_cast<long double>(total) + 1) -
+         std::lgammal(static_cast<long double>(n) + 1) -
+         std::lgammal(static_cast<long double>(total - n) + 1));
+    double f   = static_cast<double>(std::exp(logp0));
+    double u   = rng.uniform();
+    double k   = kmin;
+    double cdf = f;
+    while (u > cdf && k < kmax) {
+        // p(k+1)/p(k) = (success-k)(n-k) / ((k+1)(fail-n+k+1))
+        f *= (success - k) * (n - k) / ((k + 1) * (fail - n + k + 1));
+        k += 1;
+        cdf += f;
+        if (f <= 0.0) break;
+    }
+    return static_cast<u64>(k);
+}
+
+/// HRUA* ratio-of-uniforms rejection, expected O(1) (Stadlober family; the
+/// variant with Frohne's corrections). Parameters as doubles; see header
+/// for the >2^53 caveat.
+u64 hypergeometric_hrua(Rng& rng, double total, double success, double n) {
+    constexpr double kD1 = 1.7155277699214135; // 2*sqrt(2/e)
+    constexpr double kD2 = 0.8989161620588988; // 3 - 2*sqrt(3/e)
+
+    const double bad        = total - success;
+    const double mingoodbad = std::min(success, bad);
+    const double maxgoodbad = std::max(success, bad);
+    const double m          = std::min(n, total - n);
+
+    // The acceptance quantity is a difference of lgamma sums whose absolute
+    // magnitude grows with the population while the difference stays O(1);
+    // long double keeps ~3 extra decimal digits, which keeps the sampler
+    // unbiased for populations up to the 2^50 routing threshold.
+    auto lgl = [](double v) { return std::lgammal(static_cast<long double>(v)); };
+
+    const double d4       = mingoodbad / total;
+    const double d5       = 1.0 - d4;
+    const double d6       = m * d4 + 0.5;
+    const double d7       = std::sqrt((total - m) * m * d4 * d5 / (total - 1) + 0.5);
+    const double d8       = kD1 * d7 + kD2;
+    const double d9       = std::floor((m + 1) * (mingoodbad + 1) / (total + 2));
+    const long double d10 = lgl(d9 + 1) + lgl(mingoodbad - d9 + 1) +
+                            lgl(m - d9 + 1) + lgl(maxgoodbad - m + d9 + 1);
+    const double d11 = std::min(m + 1.0, std::floor(d6 + 16 * d7));
+
+    double z = 0;
+    for (;;) {
+        const double x = rng.uniform_pos();
+        const double y = rng.uniform();
+        const double w = d6 + d8 * (y - 0.5) / x;
+        if (w < 0.0 || w >= d11) continue;
+        z              = std::floor(w);
+        const double t = static_cast<double>(
+            d10 - (lgl(z + 1) + lgl(mingoodbad - z + 1) + lgl(m - z + 1) +
+                   lgl(maxgoodbad - m + z + 1)));
+        if (x * (4.0 - x) - 3.0 <= t) break;           // squeeze accept
+        if (x * (x - t) >= 1.0) continue;              // squeeze reject
+        if (2.0 * std::log(x) <= t) break;             // full acceptance test
+    }
+    if (success > bad) z = m - z;
+    if (m < n) z = success - z;
+    return static_cast<u64>(z);
+}
+
+} // namespace
+
+u64 binomial(Rng& rng, u64 n, double p) {
+    if (n == 0 || p <= 0.0) return 0;
+    if (p >= 1.0) return n;
+    if (p > 0.5) return n - binomial(rng, n, 1.0 - p);
+    const double mean = static_cast<double>(n) * p;
+    if (mean < 30.0) return binomial_inversion(rng, n, p);
+    return binomial_btrs(rng, n, p);
+}
+
+u64 hypergeometric(Rng& rng, u128 total, u128 success, u64 n) {
+    assert(success <= total);
+    assert(n <= total);
+    if (n == 0 || success == 0) return 0;
+    if (success == total) return n;
+
+    // Populations beyond ~2^50 exceed what even long double lgamma keeps
+    // unbiased. There the sampling fraction n/total is astronomically small
+    // for every call site in this library (a materialized sample of size n
+    // bounds n), so the hypergeometric is replaced by its binomial limit —
+    // the same fidelity cut the paper's GMP-backed stocc reimplementation
+    // makes when it leaves exact-integer territory (see DESIGN.md).
+    if (total > (u128{1} << 50)) {
+        const double p = static_cast<double>(success) / static_cast<double>(total);
+        const u64 kmax = static_cast<u128>(n) <= success ? n : static_cast<u64>(success);
+        const u128 fail128 = total - success;
+        const u64 kmin = static_cast<u128>(n) > fail128
+                             ? n - static_cast<u64>(fail128)
+                             : 0;
+        return std::clamp(binomial(rng, n, p), kmin, kmax);
+    }
+
+    const u128 fail = total - success;
+    const double td = static_cast<double>(total);
+    const double sd = static_cast<double>(success);
+    const double nd = static_cast<double>(n);
+    const double fd = static_cast<double>(fail);
+
+    // Support span = min(success, fail, n, total - n) + 1.
+    const double span = std::min(std::min(sd, fd), std::min(nd, td - nd));
+    if (span <= 256.0) return hypergeometric_inversion(rng, td, sd, nd);
+
+    // Route through inversion as well when the walk from the support's lower
+    // bound is short (mean - kmin small).
+    const double mean = nd * sd / td;
+    const double kmin = std::max(0.0, nd - fd);
+    if (mean - kmin <= 256.0) return hypergeometric_inversion(rng, td, sd, nd);
+
+    const u64 k = hypergeometric_hrua(rng, td, sd, nd);
+    return std::min<u64>(k, n);
+}
+
+std::vector<u64> multinomial(Rng& rng, u64 n, std::span<const double> probs) {
+    std::vector<u64> counts(probs.size(), 0);
+    double remaining_p = 1.0;
+    u64 remaining_n    = n;
+    for (std::size_t i = 0; i + 1 < probs.size() && remaining_n > 0; ++i) {
+        const double p = std::clamp(probs[i] / remaining_p, 0.0, 1.0);
+        counts[i]      = binomial(rng, remaining_n, p);
+        remaining_n -= counts[i];
+        remaining_p = std::max(remaining_p - probs[i], 1e-300);
+    }
+    if (!probs.empty()) counts.back() = remaining_n;
+    return counts;
+}
+
+} // namespace kagen

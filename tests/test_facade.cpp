@@ -1,0 +1,114 @@
+// Public facade + cross-module integration: every model generates through
+// kagen::generate, respects (rank, size) purity, and downstream graph
+// utilities (CSR, BFS, components) consume the outputs.
+#include <gtest/gtest.h>
+
+#include "graph/csr.hpp"
+#include "graph/stats.hpp"
+#include "kagen.hpp"
+#include "pe/pe.hpp"
+
+namespace kagen {
+namespace {
+
+Config small_config(Model model) {
+    Config cfg;
+    cfg.model     = model;
+    cfg.n         = 600;
+    cfg.m         = 3000;
+    cfg.p         = 0.01;
+    cfg.r         = 0.08;
+    cfg.avg_deg   = 8;
+    cfg.gamma     = 2.8;
+    cfg.ba_degree = 3;
+    cfg.seed      = 99;
+    return cfg;
+}
+
+class AllModels : public ::testing::TestWithParam<Model> {};
+
+TEST_P(AllModels, GeneratesAndIsPure) {
+    const Config cfg = small_config(GetParam());
+    const Result a   = generate(cfg, 1, 4);
+    const Result b   = generate(cfg, 1, 4);
+    EXPECT_EQ(a.edges, b.edges) << model_name(cfg.model);
+    EXPECT_GE(a.n, cfg.n);
+    for (const auto& [u, v] : a.edges) {
+        EXPECT_LT(u, a.n);
+        EXPECT_LT(v, a.n);
+    }
+}
+
+TEST_P(AllModels, UnionAcrossPesIsNonEmptyAndConsumable) {
+    const Config cfg  = small_config(GetParam());
+    const auto per_pe = pe::run_all(4, [&](u64 rank, u64 size) {
+        return generate(cfg, rank, size).edges;
+    });
+    const EdgeList all = pe::union_undirected(per_pe);
+    ASSERT_FALSE(all.empty()) << model_name(cfg.model);
+    const u64 n = generate(cfg, 0, 1).n;
+    // Downstream pipeline: CSR + BFS + components must all work.
+    const Csr csr = build_csr(all, n, /*symmetrize=*/true);
+    u64 reached   = 0;
+    bfs(csr, all.front().first, &reached);
+    EXPECT_GE(reached, 1u);
+    EXPECT_GE(connected_components(all, n), 1u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Everything, AllModels,
+    ::testing::Values(Model::GnmDirected, Model::GnmUndirected, Model::GnpDirected,
+                      Model::GnpUndirected, Model::Rgg2D, Model::Rgg3D, Model::Rdg2D,
+                      Model::Rdg3D, Model::Rhg, Model::RhgStreaming, Model::Ba,
+                      Model::Rmat),
+    [](const ::testing::TestParamInfo<Model>& info) {
+        return model_name(info.param);
+    });
+
+TEST(Facade, RmatRoundsVertexCount) {
+    Config cfg = small_config(Model::Rmat);
+    cfg.n      = 1000; // not a power of two
+    EXPECT_EQ(generate(cfg, 0, 1).n, 1024u);
+}
+
+TEST(Facade, InvalidRankThrows) {
+    const Config cfg = small_config(Model::GnmDirected);
+    EXPECT_THROW(generate(cfg, 4, 4), std::invalid_argument);
+    EXPECT_THROW(generate(cfg, 0, 0), std::invalid_argument);
+}
+
+TEST(PeHarness, ThreadedAndSequentialAgree) {
+    const Config cfg = small_config(Model::Rgg2D);
+    const auto seq = pe::run_all(8, [&](u64 r, u64 s) { return generate(cfg, r, s).edges; },
+                                 /*threaded=*/false);
+    const auto thr = pe::run_all(8, [&](u64 r, u64 s) { return generate(cfg, r, s).edges; },
+                                 /*threaded=*/true);
+    EXPECT_EQ(seq, thr);
+}
+
+TEST(PeHarness, RunTimedReturnsPositive) {
+    const Config cfg = small_config(Model::GnmDirected);
+    const double t = pe::run_timed(4, [&](u64 r, u64 s) { return generate(cfg, r, s).edges; });
+    EXPECT_GT(t, 0.0);
+}
+
+TEST(GraphStats, CsrAndBfsOnKnownGraph) {
+    // Path 0-1-2-3 plus isolated 4.
+    const EdgeList edges{{0, 1}, {1, 2}, {2, 3}};
+    const Csr g = build_csr(edges, 5, true);
+    EXPECT_EQ(g.degree(1), 2u);
+    u64 reached = 0;
+    const auto dist = bfs(g, 0, &reached);
+    EXPECT_EQ(reached, 4u);
+    EXPECT_EQ(dist[3], 3u);
+    EXPECT_EQ(connected_components(edges, 5), 2u);
+}
+
+TEST(GraphStats, ClusteringCoefficientKnownValues) {
+    // Triangle: coefficient 1. Star: coefficient 0.
+    EXPECT_DOUBLE_EQ(global_clustering_coefficient({{0, 1}, {1, 2}, {0, 2}}, 3), 1.0);
+    EXPECT_DOUBLE_EQ(global_clustering_coefficient({{0, 1}, {0, 2}, {0, 3}}, 4), 0.0);
+}
+
+} // namespace
+} // namespace kagen

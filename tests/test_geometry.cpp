@@ -1,0 +1,152 @@
+// Morton codes and the deterministic PointGrid substrate: roundtrips,
+// occupancy distribution (multinomial), prefix/id consistency, determinism.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "geometry/morton.hpp"
+#include "geometry/point_grid.hpp"
+#include "testing.hpp"
+
+namespace kagen {
+namespace {
+
+TEST(Morton, RoundTrip2D) {
+    for (u64 x = 0; x < 32; ++x) {
+        for (u64 y = 0; y < 32; ++y) {
+            const u64 code = Morton<2>::encode({x, y});
+            const auto dec = Morton<2>::decode(code);
+            EXPECT_EQ(dec[0], x);
+            EXPECT_EQ(dec[1], y);
+        }
+    }
+}
+
+TEST(Morton, RoundTrip3D) {
+    for (u64 x = 0; x < 16; ++x) {
+        for (u64 y = 0; y < 16; ++y) {
+            for (u64 z = 0; z < 16; ++z) {
+                const u64 code = Morton<3>::encode({x, y, z});
+                const auto dec = Morton<3>::decode(code);
+                EXPECT_EQ(dec[0], x);
+                EXPECT_EQ(dec[1], y);
+                EXPECT_EQ(dec[2], z);
+            }
+        }
+    }
+}
+
+TEST(Morton, CodesAreDenseAndUnique) {
+    std::set<u64> codes;
+    for (u64 x = 0; x < 8; ++x) {
+        for (u64 y = 0; y < 8; ++y) codes.insert(Morton<2>::encode({x, y}));
+    }
+    EXPECT_EQ(codes.size(), 64u);
+    EXPECT_EQ(*codes.rbegin(), 63u); // dense: exactly [0, 64)
+}
+
+TEST(Morton, LargeCoordinates) {
+    const std::array<u64, 2> c2{(u64{1} << 28) - 3, (u64{1} << 28) - 7};
+    EXPECT_EQ(Morton<2>::decode(Morton<2>::encode(c2)), c2);
+    const std::array<u64, 3> c3{(u64{1} << 18) - 1, 12345, 54321};
+    EXPECT_EQ(Morton<3>::decode(Morton<3>::encode(c3)), c3);
+}
+
+TEST(PointGrid, CountsSumToN) {
+    for (u32 levels : {0u, 1u, 2u, 4u}) {
+        PointGrid<2> grid(7, 1000, levels);
+        u64 total = 0;
+        for (u64 c = 0; c < grid.num_cells(); ++c) total += grid.count_in_cell(c);
+        EXPECT_EQ(total, 1000u) << "levels=" << levels;
+    }
+}
+
+TEST(PointGrid, PrefixMatchesCumulativeCounts) {
+    PointGrid<3> grid(13, 5000, 2);
+    u64 acc = 0;
+    for (u64 c = 0; c < grid.num_cells(); ++c) {
+        EXPECT_EQ(grid.first_id(c), acc);
+        acc += grid.count_in_cell(c);
+    }
+    EXPECT_EQ(grid.first_id(grid.num_cells()), 5000u);
+}
+
+TEST(PointGrid, GlobalIdsAreContiguousPermutation) {
+    PointGrid<2> grid(99, 2048, 3);
+    const auto pts = grid.all_points();
+    ASSERT_EQ(pts.size(), 2048u);
+    std::set<VertexId> ids;
+    for (const auto& p : pts) ids.insert(p.id);
+    EXPECT_EQ(ids.size(), 2048u);
+    EXPECT_EQ(*ids.begin(), 0u);
+    EXPECT_EQ(*ids.rbegin(), 2047u);
+}
+
+TEST(PointGrid, PointsLieInTheirCellBox) {
+    PointGrid<2> grid(5, 4000, 4);
+    const double side = grid.cell_side();
+    for (u64 c = 0; c < grid.num_cells(); ++c) {
+        const auto coords = Morton<2>::decode(c);
+        for (const auto& p : grid.cell_points(c)) {
+            for (int d = 0; d < 2; ++d) {
+                EXPECT_GE(p.pos[d], static_cast<double>(coords[d]) * side);
+                EXPECT_LT(p.pos[d], static_cast<double>(coords[d] + 1) * side);
+            }
+        }
+    }
+}
+
+TEST(PointGrid, DeterministicAcrossInstances) {
+    PointGrid<3> a(21, 3000, 2), b(21, 3000, 2);
+    for (u64 c = 0; c < a.num_cells(); ++c) {
+        const auto pa = a.cell_points(c);
+        const auto pb = b.cell_points(c);
+        ASSERT_EQ(pa.size(), pb.size());
+        for (std::size_t i = 0; i < pa.size(); ++i) {
+            EXPECT_EQ(pa[i].id, pb[i].id);
+            EXPECT_EQ(pa[i].pos, pb[i].pos);
+        }
+    }
+}
+
+TEST(PointGrid, OccupancyIsUniformMultinomial) {
+    // Aggregate occupancy over many seeds; each of the 16 cells must hold
+    // n/16 of the mass.
+    constexpr u64 kN = 256, kRuns = 2000;
+    std::vector<double> mass(16, 0.0);
+    for (u64 seed = 0; seed < kRuns; ++seed) {
+        PointGrid<2> grid(seed, kN, 2);
+        for (u64 c = 0; c < 16; ++c) {
+            mass[c] += static_cast<double>(grid.count_in_cell(c));
+        }
+    }
+    const std::vector<double> expected(16, static_cast<double>(kN * kRuns) / 16.0);
+    EXPECT_LT(testing::chi_square(mass, expected), testing::chi_square_critical(15));
+}
+
+TEST(PointGrid, CoordinatesAreUniformGlobally) {
+    // Histogram x-coordinates across the whole unit interval.
+    PointGrid<2> grid(3, 200000, 3);
+    std::vector<double> bins(20, 0.0);
+    for (const auto& p : grid.all_points()) {
+        bins[std::min<std::size_t>(static_cast<std::size_t>(p.pos[0] * 20), 19)] += 1.0;
+    }
+    const std::vector<double> expected(20, 200000.0 / 20);
+    EXPECT_LT(testing::chi_square(bins, expected), testing::chi_square_critical(19));
+}
+
+TEST(PointGrid, SingleCellGrid) {
+    PointGrid<2> grid(1, 100, 0);
+    EXPECT_EQ(grid.num_cells(), 1u);
+    EXPECT_EQ(grid.count_in_cell(0), 100u);
+    EXPECT_EQ(grid.cell_points(0).size(), 100u);
+}
+
+TEST(PointGrid, EmptyGrid) {
+    PointGrid<3> grid(1, 0, 2);
+    for (u64 c = 0; c < grid.num_cells(); ++c) EXPECT_EQ(grid.count_in_cell(c), 0u);
+}
+
+} // namespace
+} // namespace kagen

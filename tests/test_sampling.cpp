@@ -1,0 +1,230 @@
+// Sampling without replacement: Floyd, Vitter (A + D), and the distributed
+// divide-and-conquer chunk sampler (uniformity, determinism, PE-consistency).
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/math.hpp"
+#include "sampling/sampling.hpp"
+#include "testing.hpp"
+
+namespace kagen {
+namespace {
+
+TEST(FloydSample, DistinctInRangeCorrectCount) {
+    Rng rng(1);
+    for (u64 k : {u64{0}, u64{1}, u64{50}, u64{100}}) {
+        const auto s = floyd_sample(rng, 100, k);
+        EXPECT_EQ(s.size(), k);
+        std::set<u64> set(s.begin(), s.end());
+        EXPECT_EQ(set.size(), k);
+        for (u64 x : s) EXPECT_LT(x, 100u);
+    }
+}
+
+TEST(FloydSample, FullUniverse) {
+    Rng rng(2);
+    const auto s = floyd_sample(rng, 10, 10);
+    std::set<u64> set(s.begin(), s.end());
+    EXPECT_EQ(set.size(), 10u);
+}
+
+TEST(FloydSample, UniformInclusion) {
+    Rng rng(3);
+    constexpr u64 kUniverse = 40, kK = 10, kRuns = 40000;
+    std::vector<double> hits(kUniverse, 0.0);
+    for (u64 r = 0; r < kRuns; ++r) {
+        for (u64 x : floyd_sample(rng, kUniverse, kK)) hits[x] += 1.0;
+    }
+    const std::vector<double> expected(kUniverse, kRuns * static_cast<double>(kK) / kUniverse);
+    EXPECT_LT(testing::chi_square(hits, expected),
+              testing::chi_square_critical(kUniverse - 1));
+}
+
+struct SortedCase {
+    u64 universe;
+    u64 k;
+};
+
+class SortedSample : public ::testing::TestWithParam<SortedCase> {};
+
+TEST_P(SortedSample, SortedDistinctInRange) {
+    const auto [universe, k] = GetParam();
+    Rng rng(7);
+    std::vector<u64> out;
+    sorted_sample(rng, universe, k, [&](u64 x) { out.push_back(x); });
+    ASSERT_EQ(out.size(), k);
+    for (std::size_t i = 0; i < out.size(); ++i) {
+        EXPECT_LT(out[i], universe);
+        if (i > 0) {
+            EXPECT_LT(out[i - 1], out[i]); // strictly increasing
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Spectrum, SortedSample,
+    ::testing::Values(SortedCase{10, 0},                    // empty
+                      SortedCase{10, 10},                   // everything
+                      SortedCase{1u << 20, 5},              // sparse, Method D
+                      SortedCase{1u << 20, 1u << 10},       // Method D
+                      SortedCase{1000, 400},                // dense, Method A
+                      SortedCase{1000, 999},                // nearly everything
+                      SortedCase{u64{1} << 45, 2000},       // huge universe
+                      SortedCase{1, 1}                      // singleton
+                      ));
+
+TEST(SortedSampleStat, UniformInclusionSparse) {
+    // Method D path: bucket the universe; inclusion counts must be uniform.
+    Rng rng(11);
+    constexpr u64 kUniverse = 100000, kK = 500, kRuns = 800, kBuckets = 50;
+    std::vector<double> hits(kBuckets, 0.0);
+    for (u64 r = 0; r < kRuns; ++r) {
+        sorted_sample(rng, kUniverse, kK,
+                      [&](u64 x) { hits[x / (kUniverse / kBuckets)] += 1.0; });
+    }
+    const std::vector<double> expected(
+        kBuckets, static_cast<double>(kRuns * kK) / kBuckets);
+    EXPECT_LT(testing::chi_square(hits, expected),
+              testing::chi_square_critical(kBuckets - 1));
+}
+
+TEST(SortedSampleStat, UniformInclusionDense) {
+    // Method A path (k/universe > 1/13).
+    Rng rng(13);
+    constexpr u64 kUniverse = 200, kK = 60, kRuns = 20000;
+    std::vector<double> hits(kUniverse, 0.0);
+    for (u64 r = 0; r < kRuns; ++r) {
+        sorted_sample(rng, kUniverse, kK, [&](u64 x) { hits[x] += 1.0; });
+    }
+    const std::vector<double> expected(
+        kUniverse, static_cast<double>(kRuns) * kK / kUniverse);
+    EXPECT_LT(testing::chi_square(hits, expected),
+              testing::chi_square_critical(kUniverse - 1));
+}
+
+TEST(SortedSampleStat, FirstElementDistribution) {
+    // P(min sample = s) has a known closed form; spot-check the head mass:
+    // P(min = 0) = k / universe.
+    Rng rng(17);
+    constexpr u64 kUniverse = 1000, kK = 10, kRuns = 50000;
+    u64 zero_first = 0;
+    for (u64 r = 0; r < kRuns; ++r) {
+        bool first = true;
+        sorted_sample(rng, kUniverse, kK, [&](u64 x) {
+            if (first && x == 0) ++zero_first;
+            first = false;
+        });
+    }
+    const double p   = static_cast<double>(kK) / kUniverse;
+    const double tol = 6 * std::sqrt(p * (1 - p) / kRuns);
+    EXPECT_NEAR(static_cast<double>(zero_first) / kRuns, p, tol);
+}
+
+TEST(ChunkedSampler, CountsSumToTotal) {
+    for (u64 chunks : {u64{1}, u64{2}, u64{7}, u64{16}}) {
+        ChunkedSampler sampler(99, make_row_universe(1000, chunks, 999), 5000);
+        u64 total = 0;
+        for (u64 c = 0; c < chunks; ++c) total += sampler.samples_in_chunk(c);
+        EXPECT_EQ(total, 5000u) << chunks << " chunks";
+    }
+}
+
+TEST(ChunkedSampler, DeterministicAcrossInstances) {
+    const auto uni = make_row_universe(512, 8, 511);
+    ChunkedSampler a(123, uni, 4096);
+    ChunkedSampler b(123, uni, 4096);
+    for (u64 c = 0; c < 8; ++c) {
+        EXPECT_EQ(a.samples_in_chunk(c), b.samples_in_chunk(c));
+        std::vector<u64> sa, sb;
+        a.sample_chunk(c, [&](u64 x) { sa.push_back(x); });
+        b.sample_chunk(c, [&](u64 x) { sb.push_back(x); });
+        EXPECT_EQ(sa, sb);
+    }
+}
+
+TEST(ChunkedSampler, SamplesAreDistinctWithinChunkAndCorrectlySized) {
+    ChunkedSampler sampler(5, make_row_universe(100, 4, 99), 2000);
+    for (u64 c = 0; c < 4; ++c) {
+        const u64 expect = sampler.samples_in_chunk(c);
+        std::set<u64> seen;
+        u64 count = 0;
+        const u128 chunk_size = make_row_universe(100, 4, 99).chunk_size(c);
+        sampler.sample_chunk(c, [&](u64 x) {
+            EXPECT_LT(static_cast<u128>(x), chunk_size);
+            seen.insert(x);
+            ++count;
+        });
+        EXPECT_EQ(count, expect);
+        EXPECT_EQ(seen.size(), count);
+    }
+}
+
+TEST(ChunkedSampler, ChunkCountsAreHypergeometric) {
+    // With two equal chunks, the left count is Hypergeometric(N, N/2, m).
+    constexpr u64 kRuns = 4000;
+    constexpr u64 kM    = 64;
+    double sum = 0.0;
+    for (u64 seed = 0; seed < kRuns; ++seed) {
+        ChunkedSampler sampler(seed, make_row_universe(128, 2, 100), kM);
+        sum += static_cast<double>(sampler.samples_in_chunk(0));
+    }
+    const double mean = sum / kRuns;
+    // mean = m/2, var = m * (1/2)(1/2) * (N-m)/(N-1) ~ 16 * 0.995
+    const double tol = 6 * std::sqrt(16.0 / kRuns);
+    EXPECT_NEAR(mean, kM / 2.0, tol);
+}
+
+TEST(ChunkedSampler, UnevenChunkSizesRespected) {
+    // 10 rows in 3 chunks: blocks of 4, 3, 3 rows.
+    const auto uni = make_row_universe(10, 3, 7);
+    EXPECT_EQ(static_cast<u64>(uni.chunk_size(0)), 4u * 7);
+    EXPECT_EQ(static_cast<u64>(uni.chunk_size(1)), 3u * 7);
+    EXPECT_EQ(static_cast<u64>(uni.range_size(0, 3)), 70u);
+    ChunkedSampler sampler(1, uni, 70); // saturate: every slot sampled
+    for (u64 c = 0; c < 3; ++c) {
+        EXPECT_EQ(sampler.samples_in_chunk(c), static_cast<u64>(uni.chunk_size(c)));
+    }
+}
+
+TEST(MathHelpers, TriangleInversionRoundTrip) {
+    for (u64 k = 0; k < 5000; ++k) {
+        const u64 r = triangle_row(k);
+        EXPECT_LE(triangle(r), static_cast<u128>(k));
+        EXPECT_GT(triangle(r + 1), static_cast<u128>(k));
+    }
+    // Large values near 2^80.
+    const u128 big = (static_cast<u128>(1) << 80) + 12345;
+    const u64 r    = triangle_row(big);
+    EXPECT_LE(triangle(r), big);
+    EXPECT_GT(triangle(static_cast<u128>(r) + 1), big);
+}
+
+TEST(MathHelpers, BlockPartitionCoversExactly) {
+    for (u64 n : {u64{1}, u64{10}, u64{17}, u64{1000}}) {
+        for (u64 parts : {u64{1}, u64{3}, u64{7}}) {
+            u64 covered = 0;
+            for (u64 p = 0; p < parts; ++p) covered += block_size(n, parts, p);
+            EXPECT_EQ(covered, n);
+            for (u64 i = 0; i < n; ++i) {
+                const u64 owner = block_owner(n, parts, i);
+                EXPECT_GE(i, block_begin(n, parts, owner));
+                EXPECT_LT(i, block_begin(n, parts, owner + 1));
+            }
+        }
+    }
+}
+
+TEST(MathHelpers, Isqrt) {
+    EXPECT_EQ(isqrt(0), 0u);
+    EXPECT_EQ(isqrt(1), 1u);
+    EXPECT_EQ(isqrt(15), 3u);
+    EXPECT_EQ(isqrt(16), 4u);
+    const u128 x = (static_cast<u128>(1) << 90) - 1;
+    const u128 r = isqrt(x);
+    EXPECT_LE(r * r, x);
+    EXPECT_GT((r + 1) * (r + 1), x);
+}
+
+} // namespace
+} // namespace kagen

@@ -1,0 +1,68 @@
+/// \file testing.hpp
+/// \brief Shared statistical helpers for the test suite.
+#pragma once
+
+#include <cmath>
+#include <map>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace kagen::testing {
+
+/// Pearson chi-square statistic over observed vs expected counts.
+inline double chi_square(const std::vector<double>& observed,
+                         const std::vector<double>& expected) {
+    double stat = 0.0;
+    for (std::size_t i = 0; i < observed.size(); ++i) {
+        const double diff = observed[i] - expected[i];
+        stat += diff * diff / expected[i];
+    }
+    return stat;
+}
+
+/// Approximate upper critical value of the chi-square distribution with `df`
+/// degrees of freedom at significance ~1e-4 (Wilson–Hilferty). Tests using
+/// fixed seeds are deterministic, so a rare-tail threshold avoids flakes
+/// while still catching real distribution bugs by orders of magnitude.
+inline double chi_square_critical(double df, double z = 3.72) {
+    const double t = 1.0 - 2.0 / (9.0 * df) + z * std::sqrt(2.0 / (9.0 * df));
+    return df * t * t * t;
+}
+
+/// Bins integer samples against an exact pmf: consecutive support values are
+/// merged until each bin's expected count is >= `min_expected`, then the
+/// chi-square statistic and degrees of freedom are computed.
+struct BinnedChiSquare {
+    double statistic = 0.0;
+    double df        = 0.0;
+};
+
+inline BinnedChiSquare binned_chi_square(const std::map<u64, u64>& histogram,
+                                         const std::vector<double>& pmf, u64 support_lo,
+                                         u64 total_samples, double min_expected = 8.0) {
+    std::vector<double> obs_bins;
+    std::vector<double> exp_bins;
+    double obs_acc = 0.0;
+    double exp_acc = 0.0;
+    for (std::size_t k = 0; k < pmf.size(); ++k) {
+        const auto it = histogram.find(support_lo + k);
+        obs_acc += (it == histogram.end()) ? 0.0 : static_cast<double>(it->second);
+        exp_acc += pmf[k] * static_cast<double>(total_samples);
+        if (exp_acc >= min_expected) {
+            obs_bins.push_back(obs_acc);
+            exp_bins.push_back(exp_acc);
+            obs_acc = exp_acc = 0.0;
+        }
+    }
+    if (exp_acc > 0.0 && !exp_bins.empty()) { // fold the tail into the last bin
+        obs_bins.back() += obs_acc;
+        exp_bins.back() += exp_acc;
+    }
+    BinnedChiSquare out;
+    out.statistic = chi_square(obs_bins, exp_bins);
+    out.df        = static_cast<double>(obs_bins.size()) - 1.0;
+    return out;
+}
+
+} // namespace kagen::testing
