@@ -17,7 +17,9 @@
 #include <atomic>
 #include <cstdio>
 
+#include "kagen.hpp"
 #include "pe/pe.hpp"
+#include "sink/sinks.hpp"
 
 namespace kagen::bench {
 
@@ -45,6 +47,33 @@ inline void scaling_run(benchmark::State& state, u64 pes, const pe::RankFn& fn) 
     state.counters["edges"] = per_iter;
     state.counters["Medges/s"] =
         benchmark::Counter(per_iter / 1e6, benchmark::Counter::kIsIterationInvariantRate);
+}
+
+/// Runs `cfg` through the chunked execution engine per iteration (counting
+/// sink: edges are produced and discarded in a stream, nothing is stored),
+/// reporting makespan-based counters. Returns the last iteration's makespan.
+inline double engine_scaling_run(benchmark::State& state, const Config& cfg, u64 pes) {
+    {
+        CountingSink warmup; // untimed: pool spin-up, page faults
+        generate_chunked(cfg, pes, warmup);
+    }
+    double makespan = 0.0;
+    u64 edges       = 0;
+    for (auto _ : state) {
+        CountingSink sink;
+        const ChunkStats stats = generate_chunked(cfg, pes, sink);
+        sink.finish();
+        makespan = stats.seconds;
+        edges    = sink.num_edges();
+        state.SetIterationTime(stats.seconds);
+    }
+    state.counters["PEs"]    = static_cast<double>(pes);
+    state.counters["chunks"] = static_cast<double>(
+        cfg.total_chunks != 0 ? cfg.total_chunks : cfg.chunks_per_pe * pes);
+    state.counters["edges"]  = static_cast<double>(edges);
+    state.counters["Medges/s"] = benchmark::Counter(
+        static_cast<double>(edges) / 1e6, benchmark::Counter::kIsIterationInvariantRate);
+    return makespan;
 }
 
 } // namespace kagen::bench

@@ -1,7 +1,15 @@
-// Command-line generator: the "library as a product" entry point. Writes an
-// edge list (one "u v" pair per line) for any model, optionally restricted
-// to a single PE's part — demonstrating that any rank's output can be
-// produced in isolation, which is the paper's whole point.
+// Command-line generator: the "library as a product" entry point.
+//
+// Two execution paths:
+//  * per-PE (default): writes one PE's edge list as text ("u v" per line),
+//    demonstrating that any rank's output can be produced in isolation —
+//    the paper's whole point.
+//  * chunked engine (-sink ...): generates the WHOLE graph as K·P logical
+//    chunks over the persistent work-stealing pool, streaming into an edge
+//    sink — so huge instances can be counted, measured, or written to disk
+//    without materializing the edge list (count/stats sinks stream with
+//    O(buffer) memory; the ordered file sink holds completed-but-not-yet-
+//    delivered chunks, worst case bounded by chunk skew — see DESIGN.md §5).
 //
 // Usage:
 //   ./example_kagen_tool <model> [options]
@@ -16,12 +24,18 @@
 //   -g G        power-law exponent gamma (rhg*)
 //   -s S        seed
 //   -rank R -size P   generate only rank R of P (default: 0 of 1)
-//   -o FILE     output file (default: stdout)
+//   -o FILE     output file (default: stdout; binary for -sink file)
+//   -sink KIND  chunked whole-graph run: memory | count | stats | file
+//   -pes P      simulated PEs for -sink runs (default 4)
+//   -chunks-per-pe K   logical chunks per PE (default 4)
+//   -chunks C   pin the canonical chunk count (graph then independent of
+//               -pes / -chunks-per-pe)
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <string>
 
+#include "graph/io.hpp"
 #include "kagen.hpp"
 
 using namespace kagen;
@@ -40,47 +54,81 @@ Model parse_model(const std::string& name) {
     std::exit(2);
 }
 
-} // namespace
-
-int main(int argc, char** argv) {
-    if (argc < 2) {
-        std::fprintf(stderr, "usage: %s <model> [-n N] [-m M] [-p P] [-r R] "
-                             "[-d D] [-g G] [-s S] [-rank R -size P] [-o FILE]\n",
-                     argv[0]);
-        return 2;
+int run_chunked_sink(const Config& cfg, const std::string& kind, u64 pes,
+                     const char* out_path) {
+    const u64 n = num_vertices(cfg);
+    if (kind == "count") {
+        CountingSink sink;
+        const ChunkStats stats = generate_chunked(cfg, pes, sink);
+        sink.finish();
+        std::printf("model=%s n=%llu edges=%llu self_loops=%llu chunks=%llu "
+                    "workers=%llu seconds=%.6f\n",
+                    model_name(cfg.model), static_cast<unsigned long long>(n),
+                    static_cast<unsigned long long>(sink.num_edges()),
+                    static_cast<unsigned long long>(sink.num_self_loops()),
+                    static_cast<unsigned long long>(stats.num_chunks),
+                    static_cast<unsigned long long>(stats.workers), stats.seconds);
+        return 0;
     }
-    Config cfg;
-    cfg.model = parse_model(argv[1]);
-    cfg.n     = 1024;
-    u64 rank = 0, size = 1;
-    const char* out_path = nullptr;
-    bool m_set           = false;
-    for (int i = 2; i + 1 < argc; i += 2) {
-        const std::string flag = argv[i];
-        const char* val        = argv[i + 1];
-        if (flag == "-n") cfg.n = std::strtoull(val, nullptr, 10);
-        else if (flag == "-m") { cfg.m = std::strtoull(val, nullptr, 10); m_set = true; }
-        else if (flag == "-p") cfg.p = std::strtod(val, nullptr);
-        else if (flag == "-r") cfg.r = std::strtod(val, nullptr);
-        else if (flag == "-d") { cfg.avg_deg = std::strtod(val, nullptr);
-                                 cfg.ba_degree = std::strtoull(val, nullptr, 10); }
-        else if (flag == "-g") cfg.gamma = std::strtod(val, nullptr);
-        else if (flag == "-s") cfg.seed = std::strtoull(val, nullptr, 10);
-        else if (flag == "-rank") rank = std::strtoull(val, nullptr, 10);
-        else if (flag == "-size") size = std::strtoull(val, nullptr, 10);
-        else if (flag == "-o") out_path = val;
-        else {
-            std::fprintf(stderr, "unknown flag '%s'\n", flag.c_str());
+    if (kind == "stats") {
+        DegreeStatsSink sink(n);
+        const ChunkStats stats = generate_chunked(cfg, pes, sink);
+        sink.finish();
+        std::printf("model=%s n=%llu edges=%llu avg_deg=%.4f max_deg=%llu "
+                    "chunks=%llu seconds=%.6f\n",
+                    model_name(cfg.model), static_cast<unsigned long long>(n),
+                    static_cast<unsigned long long>(sink.num_edges()),
+                    sink.average_degree(),
+                    static_cast<unsigned long long>(sink.max_degree()),
+                    static_cast<unsigned long long>(stats.num_chunks), stats.seconds);
+        const auto hist = sink.degree_histogram();
+        for (std::size_t d = 0; d < hist.size(); ++d) {
+            if (hist[d] != 0) {
+                std::printf("deg %zu: %llu\n", d,
+                            static_cast<unsigned long long>(hist[d]));
+            }
+        }
+        return 0;
+    }
+    if (kind == "file") {
+        if (out_path == nullptr) {
+            std::fprintf(stderr, "-sink file requires -o FILE\n");
             return 2;
         }
+        BinaryFileSink sink(out_path);
+        const ChunkStats stats = generate_chunked(cfg, pes, sink);
+        sink.finish();
+        std::printf("model=%s n=%llu edges=%llu -> %s (binary) chunks=%llu "
+                    "seconds=%.6f\n",
+                    model_name(cfg.model), static_cast<unsigned long long>(n),
+                    static_cast<unsigned long long>(sink.num_edges()), out_path,
+                    static_cast<unsigned long long>(stats.num_chunks), stats.seconds);
+        return 0;
     }
-    if (!m_set) cfg.m = 8 * cfg.n;
-    if (cfg.p == 0.0) cfg.p = 8.0 / static_cast<double>(cfg.n);
-    if (cfg.r == 0.0) {
-        cfg.r = 0.6 * std::sqrt(std::log(static_cast<double>(cfg.n)) /
-                                static_cast<double>(cfg.n));
+    if (kind == "memory") {
+        MemorySink sink;
+        generate_chunked(cfg, pes, sink);
+        sink.finish();
+        FILE* out = out_path ? std::fopen(out_path, "w") : stdout;
+        if (out == nullptr) {
+            std::perror("fopen");
+            return 1;
+        }
+        std::fprintf(out, "%% kagen model=%s n=%llu edges=%zu (chunked)\n",
+                     model_name(cfg.model), static_cast<unsigned long long>(n),
+                     sink.edges().size());
+        for (const auto& [u, v] : sink.edges()) {
+            std::fprintf(out, "%llu %llu\n", static_cast<unsigned long long>(u),
+                         static_cast<unsigned long long>(v));
+        }
+        if (out_path) std::fclose(out);
+        return 0;
     }
+    std::fprintf(stderr, "unknown sink '%s' (memory|count|stats|file)\n", kind.c_str());
+    return 2;
+}
 
+int run_per_pe(const Config& cfg, u64 rank, u64 size, const char* out_path) {
     const Result result = generate(cfg, rank, size);
     FILE* out           = out_path ? std::fopen(out_path, "w") : stdout;
     if (out == nullptr) {
@@ -97,4 +145,65 @@ int main(int argc, char** argv) {
     }
     if (out_path) std::fclose(out);
     return 0;
+}
+
+} // namespace
+
+int main(int argc, char** argv) {
+    if (argc < 2) {
+        std::fprintf(stderr,
+                     "usage: %s <model> [-n N] [-m M] [-p P] [-r R] [-d D] [-g G] "
+                     "[-s S] [-rank R -size P] [-o FILE]\n"
+                     "       [-sink memory|count|stats|file] [-pes P] "
+                     "[-chunks-per-pe K] [-chunks C]\n",
+                     argv[0]);
+        return 2;
+    }
+    Config cfg;
+    cfg.model         = parse_model(argv[1]);
+    cfg.n             = 1024;
+    cfg.chunks_per_pe = 4;
+    u64 rank = 0, size = 1, pes = 4;
+    const char* out_path = nullptr;
+    std::string sink_kind;
+    bool m_set = false;
+    for (int i = 2; i + 1 < argc; i += 2) {
+        const std::string flag = argv[i];
+        const char* val        = argv[i + 1];
+        if (flag == "-n") cfg.n = std::strtoull(val, nullptr, 10);
+        else if (flag == "-m") { cfg.m = std::strtoull(val, nullptr, 10); m_set = true; }
+        else if (flag == "-p") cfg.p = std::strtod(val, nullptr);
+        else if (flag == "-r") cfg.r = std::strtod(val, nullptr);
+        else if (flag == "-d") { cfg.avg_deg = std::strtod(val, nullptr);
+                                 cfg.ba_degree = std::strtoull(val, nullptr, 10); }
+        else if (flag == "-g") cfg.gamma = std::strtod(val, nullptr);
+        else if (flag == "-s") cfg.seed = std::strtoull(val, nullptr, 10);
+        else if (flag == "-rank") rank = std::strtoull(val, nullptr, 10);
+        else if (flag == "-size") size = std::strtoull(val, nullptr, 10);
+        else if (flag == "-o") out_path = val;
+        else if (flag == "-sink") sink_kind = val;
+        else if (flag == "-pes") pes = std::strtoull(val, nullptr, 10);
+        else if (flag == "-chunks-per-pe") cfg.chunks_per_pe = std::strtoull(val, nullptr, 10);
+        else if (flag == "-chunks") cfg.total_chunks = std::strtoull(val, nullptr, 10);
+        else {
+            std::fprintf(stderr, "unknown flag '%s'\n", flag.c_str());
+            return 2;
+        }
+    }
+    if (!m_set) cfg.m = 8 * cfg.n;
+    if (cfg.p == 0.0) cfg.p = 8.0 / static_cast<double>(cfg.n);
+    if (cfg.r == 0.0) {
+        cfg.r = 0.6 * std::sqrt(std::log(static_cast<double>(cfg.n)) /
+                                static_cast<double>(cfg.n));
+    }
+
+    try {
+        if (!sink_kind.empty()) {
+            return run_chunked_sink(cfg, sink_kind, pes, out_path);
+        }
+        return run_per_pe(cfg, rank, size, out_path);
+    } catch (const std::exception& e) {
+        std::fprintf(stderr, "error: %s\n", e.what());
+        return 1;
+    }
 }

@@ -4,6 +4,7 @@
 
 #include "common/math.hpp"
 #include "prng/spooky.hpp"
+#include "sink/sinks.hpp"
 
 namespace kagen::ba {
 namespace {
@@ -32,18 +33,22 @@ VertexId resolve(const Params& params, u64 position) {
     return (pos / 2) / params.degree;
 }
 
-EdgeList generate(const Params& params, u64 rank, u64 size) {
+void generate(const Params& params, u64 rank, u64 size, EdgeSink& sink) {
     assert(params.degree >= 1);
     const u64 v_begin = block_begin(params.n, size, rank);
     const u64 v_end   = block_begin(params.n, size, rank + 1);
-    EdgeList edges;
-    edges.reserve((v_end - v_begin) * params.degree);
     for (u64 v = v_begin; v < v_end; ++v) {
         for (u64 i = v * params.degree; i < (v + 1) * params.degree; ++i) {
-            edges.emplace_back(v, resolve(params, 2 * i + 1));
+            sink.emit(v, resolve(params, 2 * i + 1));
         }
     }
-    return edges;
+    sink.flush();
+}
+
+EdgeList generate(const Params& params, u64 rank, u64 size) {
+    MemorySink sink;
+    generate(params, rank, size, sink);
+    return sink.take();
 }
 
 } // namespace kagen::ba

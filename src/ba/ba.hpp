@@ -20,6 +20,7 @@
 
 #include "common/types.hpp"
 #include "graph/edge_list.hpp"
+#include "sink/edge_sink.hpp"
 
 namespace kagen::ba {
 
@@ -30,6 +31,9 @@ struct Params {
 };
 
 /// Edges (v, target) for all vertices v owned by `rank` (block partition).
+/// The sink overload streams each attachment edge as its dependency chain
+/// resolves; the EdgeList overload is a MemorySink wrapper.
+void generate(const Params& params, u64 rank, u64 size, EdgeSink& sink);
 EdgeList generate(const Params& params, u64 rank, u64 size);
 
 /// Resolves the virtual edge-array entry at `position` (test hook).

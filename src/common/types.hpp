@@ -28,7 +28,11 @@ using VertexId = u64;
 /// unless a generator's natural output order is documented otherwise.
 using Edge = std::pair<VertexId, VertexId>;
 
-/// Flat edge list; the universal exchange format between modules.
+/// Flat edge list; the universal *materialized* exchange format between
+/// modules. Generator cores emit through the streaming counterpart,
+/// `EdgeSink` (sink/edge_sink.hpp), of which an EdgeList is just the
+/// `MemorySink` rendering — prefer sinks when the consumer does not need
+/// every edge in memory at once.
 using EdgeList = std::vector<Edge>;
 
 /// Renders a u128 in decimal (no standard operator<< exists for __int128).

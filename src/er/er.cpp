@@ -4,6 +4,7 @@
 
 #include "common/math.hpp"
 #include "sampling/sampling.hpp"
+#include "sink/sinks.hpp"
 #include "variates/variates.hpp"
 
 namespace kagen::er {
@@ -29,18 +30,18 @@ struct Blocks {
 
 /// Maps a sample offset within a row-block chunk to a directed edge.
 /// Row r of the adjacency matrix has n-1 valid columns (self loop removed).
-void emit_directed(u64 n, u64 row_begin, u64 offset, EdgeList& out) {
+void emit_directed(u64 n, u64 row_begin, u64 offset, EdgeSink& out) {
     const u64 width = n - 1;
     const u64 row   = row_begin + offset / width;
     u64 col         = offset % width;
     if (col >= row) ++col; // skip the diagonal slot
-    out.emplace_back(row, col);
+    out.emit(row, col);
 }
 
 /// --- Undirected chunk materialization ------------------------------------
 
 /// Diagonal chunk (i, i): a triangular universe over the block's vertices.
-void emit_diagonal_chunk(const Blocks& blocks, u64 i, u64 count, u64 seed, EdgeList& out) {
+void emit_diagonal_chunk(const Blocks& blocks, u64 i, u64 count, u64 seed, EdgeSink& out) {
     const u64 base  = blocks.begin(i);
     const u64 sz    = blocks.size(i);
     const u128 uni  = triangle(sz);
@@ -50,12 +51,12 @@ void emit_diagonal_chunk(const Blocks& blocks, u64 i, u64 count, u64 seed, EdgeL
     sorted_sample(rng, static_cast<u64>(uni), count, [&](u64 s) {
         const u64 r = triangle_row(s);
         const u64 c = s - static_cast<u64>(triangle(r));
-        out.emplace_back(base + r, base + c);
+        out.emit(base + r, base + c);
     });
 }
 
 /// Off-diagonal chunk (i, j), i > j: a |V_i| x |V_j| rectangular universe.
-void emit_rect_chunk(const Blocks& blocks, u64 i, u64 j, u64 count, u64 seed, EdgeList& out) {
+void emit_rect_chunk(const Blocks& blocks, u64 i, u64 j, u64 count, u64 seed, EdgeSink& out) {
     if (count == 0) return;
     const u64 rbase = blocks.begin(i);
     const u64 cbase = blocks.begin(j);
@@ -64,11 +65,11 @@ void emit_rect_chunk(const Blocks& blocks, u64 i, u64 j, u64 count, u64 seed, Ed
     assert(static_cast<u128>(count) <= uni);
     Rng rng = Rng::for_ids(seed, {kTagChunk, i, j});
     sorted_sample(rng, static_cast<u64>(uni), count, [&](u64 s) {
-        out.emplace_back(rbase + s / cols, cbase + s % cols);
+        out.emit(rbase + s / cols, cbase + s % cols);
     });
 }
 
-void emit_chunk(const Blocks& blocks, u64 i, u64 j, u64 count, u64 seed, EdgeList& out) {
+void emit_chunk(const Blocks& blocks, u64 i, u64 j, u64 count, u64 seed, EdgeSink& out) {
     if (i == j) {
         emit_diagonal_chunk(blocks, i, count, seed, out);
     } else {
@@ -82,7 +83,7 @@ struct UTri {
     Blocks blocks;
     u64 seed;
     u64 pe;        // the chunk row/column this PE owns
-    EdgeList* out;
+    EdgeSink* out;
 };
 
 /// Rectangle of chunks rows [rlo, rhi) x cols [clo, chi); the PE needs either
@@ -136,23 +137,34 @@ void descend_triangle(const UTri& ctx, u64 lo, u64 hi, u64 k) {
 
 } // namespace
 
-EdgeList gnm_directed(u64 n, u64 m, u64 seed, u64 rank, u64 size) {
+void gnm_directed(u64 n, u64 m, u64 seed, u64 rank, u64 size, EdgeSink& sink) {
     assert(n >= 2 && size >= 1 && rank < size);
     assert(static_cast<u128>(m) <= directed_universe(n));
     ChunkedSampler sampler(seed, make_row_universe(n, size, n - 1), m);
-    EdgeList out;
     const u64 row_begin = block_begin(n, size, rank);
-    sampler.sample_chunk(rank, [&](u64 offset) { emit_directed(n, row_begin, offset, out); });
-    return out;
+    sampler.sample_chunk(rank,
+                         [&](u64 offset) { emit_directed(n, row_begin, offset, sink); });
+    sink.flush();
+}
+
+EdgeList gnm_directed(u64 n, u64 m, u64 seed, u64 rank, u64 size) {
+    MemorySink sink;
+    gnm_directed(n, m, seed, rank, size, sink);
+    return sink.take();
+}
+
+void gnm_undirected(u64 n, u64 m, u64 seed, u64 rank, u64 size, EdgeSink& sink) {
+    assert(n >= 2 && size >= 1 && rank < size);
+    assert(static_cast<u128>(m) <= undirected_universe(n));
+    UTri ctx{Blocks{n, size}, seed, rank, &sink};
+    descend_triangle(ctx, 0, size, m);
+    sink.flush();
 }
 
 EdgeList gnm_undirected(u64 n, u64 m, u64 seed, u64 rank, u64 size) {
-    assert(n >= 2 && size >= 1 && rank < size);
-    assert(static_cast<u128>(m) <= undirected_universe(n));
-    EdgeList out;
-    UTri ctx{Blocks{n, size}, seed, rank, &out};
-    descend_triangle(ctx, 0, size, m);
-    return out;
+    MemorySink sink;
+    gnm_undirected(n, m, seed, rank, size, sink);
+    return sink.take();
 }
 
 EdgeList gnm_undirected_chunk(u64 n, u64 m, u64 seed, u64 size, u64 i, u64 j) {
@@ -170,25 +182,28 @@ EdgeList gnm_undirected_chunk(u64 n, u64 m, u64 seed, u64 size, u64 i, u64 j) {
     return chunk;
 }
 
-EdgeList gnp_directed(u64 n, double p, u64 seed, u64 rank, u64 size) {
+void gnp_directed(u64 n, double p, u64 seed, u64 rank, u64 size, EdgeSink& sink) {
     assert(n >= 2 && size >= 1 && rank < size);
     const u64 row_begin = block_begin(n, size, rank);
     const u128 universe = static_cast<u128>(block_size(n, size, rank)) * (n - 1);
     assert(universe <= static_cast<u128>(~u64{0}));
     Rng count_rng   = Rng::for_ids(seed, {kTagGnp, rank});
     const u64 count = binomial(count_rng, static_cast<u64>(universe), p);
-    EdgeList out;
-    out.reserve(count);
     Rng rng = Rng::for_ids(seed, {kTagChunk, rank});
     sorted_sample(rng, static_cast<u64>(universe), count,
-                  [&](u64 offset) { emit_directed(n, row_begin, offset, out); });
-    return out;
+                  [&](u64 offset) { emit_directed(n, row_begin, offset, sink); });
+    sink.flush();
 }
 
-EdgeList gnp_undirected(u64 n, double p, u64 seed, u64 rank, u64 size) {
+EdgeList gnp_directed(u64 n, double p, u64 seed, u64 rank, u64 size) {
+    MemorySink sink;
+    gnp_directed(n, p, seed, rank, size, sink);
+    return sink.take();
+}
+
+void gnp_undirected(u64 n, double p, u64 seed, u64 rank, u64 size, EdgeSink& sink) {
     assert(n >= 2 && size >= 1 && rank < size);
     const Blocks blocks{n, size};
-    EdgeList out;
     auto chunk_count = [&](u64 i, u64 j) {
         const u128 uni = (i == j) ? triangle(blocks.size(i))
                                   : static_cast<u128>(blocks.size(i)) * blocks.size(j);
@@ -197,13 +212,19 @@ EdgeList gnp_undirected(u64 n, double p, u64 seed, u64 rank, u64 size) {
     };
     // Row chunks (rank, j <= rank) — edges whose higher endpoint is local.
     for (u64 j = 0; j <= rank; ++j) {
-        emit_chunk(blocks, rank, j, chunk_count(rank, j), seed, out);
+        emit_chunk(blocks, rank, j, chunk_count(rank, j), seed, sink);
     }
     // Column chunks (i > rank, rank) — edges whose lower endpoint is local.
     for (u64 i = rank + 1; i < size; ++i) {
-        emit_chunk(blocks, i, rank, chunk_count(i, rank), seed, out);
+        emit_chunk(blocks, i, rank, chunk_count(i, rank), seed, sink);
     }
-    return out;
+    sink.flush();
+}
+
+EdgeList gnp_undirected(u64 n, double p, u64 seed, u64 rank, u64 size) {
+    MemorySink sink;
+    gnp_undirected(n, p, seed, rank, size, sink);
+    return sink.take();
 }
 
 } // namespace kagen::er

@@ -77,6 +77,23 @@ EdgeList read_edge_list_binary(const std::string& path) {
     return edges;
 }
 
+u64 stream_edge_list_binary(const std::string& path, EdgeSink& sink) {
+    File f(path, "rb");
+    u64 count = 0;
+    if (std::fread(&count, sizeof(count), 1, f.handle) != 1) {
+        throw std::runtime_error("truncated binary edge list: " + path);
+    }
+    for (u64 i = 0; i < count; ++i) {
+        u64 pair[2];
+        if (std::fread(pair, sizeof(u64), 2, f.handle) != 2) {
+            throw std::runtime_error("truncated binary edge list: " + path);
+        }
+        sink.emit(pair[0], pair[1]);
+    }
+    sink.flush();
+    return count;
+}
+
 void write_metis(const std::string& path, const EdgeList& edges, u64 n) {
     Csr g = build_csr(edges, n, /*symmetrize=*/true);
     // Deterministic, human-checkable rows regardless of input edge order.

@@ -7,6 +7,7 @@
 #include <string>
 
 #include "common/types.hpp"
+#include "sink/edge_sink.hpp"
 
 namespace kagen::io {
 
@@ -18,8 +19,16 @@ void write_edge_list(const std::string& path, const EdgeList& edges,
 EdgeList read_edge_list(const std::string& path);
 
 /// Binary format: u64 count, then count pairs of u64 (host endianness).
+/// `BinaryFileSink` (sink/sinks.hpp) streams the same format edge by edge
+/// without knowing the count up front.
 void write_edge_list_binary(const std::string& path, const EdgeList& edges);
 EdgeList read_edge_list_binary(const std::string& path);
+
+/// Streams a binary edge-list file into `sink` without materializing it —
+/// the read-side counterpart of `BinaryFileSink` (replay a generated file
+/// through counting/statistics sinks at O(1) memory). Returns the edge
+/// count; flushes but does not finish the sink.
+u64 stream_edge_list_binary(const std::string& path, EdgeSink& sink);
 
 /// METIS graph format (1-indexed, undirected, canonical single-occurrence
 /// input edges are symmetrized).

@@ -2,7 +2,7 @@
 /// \brief Public facade of the KaGen reproduction: one entry point for all
 ///        communication-free generators.
 ///
-/// Usage:
+/// Usage (materialized):
 /// \code
 ///   kagen::Config cfg;
 ///   cfg.model = kagen::Model::Rgg2D;
@@ -11,25 +11,39 @@
 ///   auto result = kagen::generate(cfg, rank, size);   // this PE's edges
 /// \endcode
 ///
+/// Usage (streaming — no edge list is ever held in memory):
+/// \code
+///   kagen::DegreeStatsSink sink(kagen::num_vertices(cfg));
+///   kagen::generate_chunked(cfg, /*num_pes=*/8, sink); // whole graph
+///   sink.finish();
+/// \endcode
+///
 /// Every generator is a pure function of (cfg, rank, size): ranks can run
 /// on MPI processes, threads, or sequentially — outputs are bit-identical.
-/// See DESIGN.md for the model-by-model algorithm map (paper sections) and
-/// the per-model headers under er/, rgg/, rdg/, rhg/, ba/, rmat/ for
-/// algorithmic detail.
+/// The chunked engine reuses the same rank-splitting math with chunk ids in
+/// the rank role: `chunks_per_pe` (K) schedules K·P logical chunks over a
+/// work-stealing pool for load balancing, and pinning `total_chunks` makes
+/// the generated graph independent of both P and K. See DESIGN.md for the
+/// model-by-model algorithm map (paper sections), the PE-simulation
+/// argument, and the sink/chunk architecture; the per-model headers under
+/// er/, rgg/, rdg/, rhg/, ba/, rmat/ have algorithmic detail.
 #pragma once
 
 #include <stdexcept>
 #include <string>
 
 #include "ba/ba.hpp"
+#include "common/math.hpp"
 #include "common/types.hpp"
 #include "er/er.hpp"
 #include "graph/edge_list.hpp"
 #include "hyperbolic/hyperbolic.hpp"
+#include "pe/pe.hpp"
 #include "rdg/rdg.hpp"
 #include "rgg/rgg.hpp"
 #include "rhg/rhg.hpp"
 #include "rmat/rmat.hpp"
+#include "sink/sinks.hpp"
 
 namespace kagen {
 
@@ -59,6 +73,11 @@ struct Config {
     u64 ba_degree  = 4;   ///< attachment edges per vertex (Ba)
     double rmat_a = 0.57, rmat_b = 0.19, rmat_c = 0.19;
     u64 seed = 1;
+
+    // --- chunked execution engine (generate_chunked) ---
+    u64 chunks_per_pe = 1; ///< K: logical chunks scheduled per PE
+    u64 total_chunks  = 0; ///< canonical chunk count; 0 = K·P. Pinning this
+                           ///< makes the graph independent of P and K.
 };
 
 struct Result {
@@ -84,59 +103,125 @@ inline const char* model_name(Model model) {
     return "unknown";
 }
 
-/// Generates the edges PE `rank` of `size` is responsible for.
-inline Result generate(const Config& cfg, u64 rank, u64 size) {
+/// Global vertex count of the graph `cfg` describes. Identical to the `n`
+/// field of every Result for the same config. For Rmat, n is rounded up to
+/// the next power of two — except n <= 1, which stays as-is (2^0 = 1 would
+/// otherwise turn an explicitly empty graph into a one-vertex one), and
+/// n > 2^63, which cannot be rounded within u64 and throws.
+inline u64 num_vertices(const Config& cfg) {
+    if (cfg.model != Model::Rmat || cfg.n <= 1) return cfg.n;
+    if (cfg.n > (u64{1} << 63)) {
+        throw std::invalid_argument(
+            "kagen: Rmat vertex count beyond 2^63 cannot be rounded to a power of two");
+    }
+    return ceil_pow2(cfg.n);
+}
+
+/// Streams the edges PE `rank` of `size` is responsible for into `sink`
+/// (flushed, not finished — the caller owns the sink lifecycle).
+inline void generate(const Config& cfg, u64 rank, u64 size, EdgeSink& sink) {
     if (size == 0 || rank >= size) {
         throw std::invalid_argument("kagen::generate: rank/size out of range");
     }
-    Result out;
-    out.n = cfg.n;
     switch (cfg.model) {
         case Model::GnmDirected:
-            out.edges = er::gnm_directed(cfg.n, cfg.m, cfg.seed, rank, size);
+            er::gnm_directed(cfg.n, cfg.m, cfg.seed, rank, size, sink);
             break;
         case Model::GnmUndirected:
-            out.edges = er::gnm_undirected(cfg.n, cfg.m, cfg.seed, rank, size);
+            er::gnm_undirected(cfg.n, cfg.m, cfg.seed, rank, size, sink);
             break;
         case Model::GnpDirected:
-            out.edges = er::gnp_directed(cfg.n, cfg.p, cfg.seed, rank, size);
+            er::gnp_directed(cfg.n, cfg.p, cfg.seed, rank, size, sink);
             break;
         case Model::GnpUndirected:
-            out.edges = er::gnp_undirected(cfg.n, cfg.p, cfg.seed, rank, size);
+            er::gnp_undirected(cfg.n, cfg.p, cfg.seed, rank, size, sink);
             break;
         case Model::Rgg2D:
-            out.edges = rgg::generate<2>({cfg.n, cfg.r, cfg.seed}, rank, size);
+            rgg::generate<2>({cfg.n, cfg.r, cfg.seed}, rank, size, sink);
             break;
         case Model::Rgg3D:
-            out.edges = rgg::generate<3>({cfg.n, cfg.r, cfg.seed}, rank, size);
+            rgg::generate<3>({cfg.n, cfg.r, cfg.seed}, rank, size, sink);
             break;
         case Model::Rdg2D:
-            out.edges = rdg::generate<2>({cfg.n, cfg.seed}, rank, size);
+            rdg::generate<2>({cfg.n, cfg.seed}, rank, size, sink);
             break;
         case Model::Rdg3D:
-            out.edges = rdg::generate<3>({cfg.n, cfg.seed}, rank, size);
+            rdg::generate<3>({cfg.n, cfg.seed}, rank, size, sink);
             break;
         case Model::Rhg:
-            out.edges = rhg::generate_inmemory(
-                {cfg.n, cfg.avg_deg, cfg.gamma, cfg.seed}, rank, size);
+            rhg::generate_inmemory({cfg.n, cfg.avg_deg, cfg.gamma, cfg.seed}, rank,
+                                   size, sink);
             break;
         case Model::RhgStreaming:
-            out.edges = rhg::generate_streaming(
-                {cfg.n, cfg.avg_deg, cfg.gamma, cfg.seed}, rank, size);
+            rhg::generate_streaming({cfg.n, cfg.avg_deg, cfg.gamma, cfg.seed}, rank,
+                                    size, sink);
             break;
         case Model::Ba:
-            out.edges = ba::generate({cfg.n, cfg.ba_degree, cfg.seed}, rank, size);
+            ba::generate({cfg.n, cfg.ba_degree, cfg.seed}, rank, size, sink);
             break;
         case Model::Rmat: {
-            u64 log_n = 0;
-            while ((u64{1} << log_n) < cfg.n) ++log_n;
-            out.n     = u64{1} << log_n;
-            out.edges = rmat::generate(
-                {log_n, cfg.m, cfg.rmat_a, cfg.rmat_b, cfg.rmat_c, cfg.seed}, rank,
-                size);
+            const u64 nv = num_vertices(cfg); // throws for n > 2^63
+            if (nv <= 1) break; // no non-trivial edges exist; see num_vertices
+            const u64 log_n = floor_log2(nv);
+            rmat::generate({log_n, cfg.m, cfg.rmat_a, cfg.rmat_b, cfg.rmat_c, cfg.seed},
+                           rank, size, sink);
             break;
         }
     }
+}
+
+/// Generates the edges PE `rank` of `size` is responsible for.
+inline Result generate(const Config& cfg, u64 rank, u64 size) {
+    Result out;
+    out.n = num_vertices(cfg);
+    MemorySink sink(&out.edges);
+    generate(cfg, rank, size, sink);
+    return out;
+}
+
+struct ChunkStats {
+    u64 n          = 0;   ///< global vertex count
+    u64 num_chunks = 0;   ///< canonical chunks executed
+    u64 workers    = 0;   ///< parallel participants used
+    double seconds = 0.0; ///< makespan of the generation phase
+};
+
+/// Whole-graph chunked engine: runs every canonical chunk (total_chunks,
+/// or chunks_per_pe·num_pes when unset) of the graph through the generator
+/// and streams the edges into `sink`, work-stealing-scheduled over the
+/// persistent thread pool with at most `threads` workers (0 = one per
+/// simulated PE, capped by the hardware). A chunk id plays exactly the rank
+/// role of the per-PE API, so the edge stream equals the concatenation of
+/// generate(cfg, c, C) for c = 0..C-1 — bit-identical for every thread
+/// count, and for every (P, K) combination once total_chunks is pinned.
+/// Models whose per-PE output carries intentional cross-PE duplicates
+/// (undirected ER/Gnp, Rgg, Rdg, Rhg) keep them here chunk-for-chunk.
+/// The caller owns sink.finish().
+inline ChunkStats generate_chunked(const Config& cfg, u64 num_pes, EdgeSink& sink,
+                                   u64 threads = 0, pe::ThreadPool* pool = nullptr) {
+    if (num_pes == 0) {
+        throw std::invalid_argument("kagen::generate_chunked: num_pes must be >= 1");
+    }
+    if (cfg.chunks_per_pe == 0) {
+        throw std::invalid_argument("kagen::generate_chunked: chunks_per_pe must be >= 1");
+    }
+    ChunkStats out;
+    out.n = num_vertices(cfg); // validates the config before any chunk runs
+    pe::ChunkOptions opt;
+    opt.num_pes       = num_pes;
+    opt.chunks_per_pe = cfg.chunks_per_pe;
+    opt.total_chunks  = cfg.total_chunks;
+    opt.threads       = threads;
+    opt.pool          = pool;
+    const auto stats  = pe::run_chunked(
+        opt,
+        [&cfg](u64 chunk, u64 num_chunks, EdgeSink& chunk_sink) {
+            generate(cfg, chunk, num_chunks, chunk_sink);
+        },
+        sink);
+    out.num_chunks = stats.num_chunks;
+    out.workers    = stats.workers;
+    out.seconds    = stats.seconds;
     return out;
 }
 

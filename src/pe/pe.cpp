@@ -1,9 +1,244 @@
 #include "pe/pe.hpp"
 
+#include <algorithm>
 #include <atomic>
+#include <cassert>
 #include <chrono>
+#include <condition_variable>
+#include <memory>
+#include <mutex>
+#include <thread>
+
+#include "common/math.hpp"
+#include "sink/sinks.hpp"
 
 namespace kagen::pe {
+namespace {
+
+/// True while the current thread executes inside a parallel section; nested
+/// parallel_for calls then run inline instead of deadlocking on the pool.
+thread_local bool t_inside_pool = false;
+
+constexpr u64 kNoTask = ~u64{0};
+
+/// One participant's task range. `next`/`end` are guarded by `m`; thieves
+/// take the upper half of the remainder under the same lock, so every task
+/// index is claimed exactly once.
+struct StealRange {
+    std::mutex m;
+    u64 next = 0;
+    u64 end  = 0;
+};
+
+struct Job {
+    const std::function<void(u64)>* fn = nullptr;
+    std::vector<std::unique_ptr<StealRange>> ranges;
+    /// Participants that have left run_participant. The job owner may only
+    /// reclaim the (stack-allocated) job once every participant has exited —
+    /// "all tasks done" is not enough, late thieves still scan the ranges.
+    std::atomic<u64> exited{0};
+    /// First exception thrown by any task; rethrown on the submitting
+    /// thread once the section has fully joined (a worker must never let an
+    /// exception escape into worker_loop — that would std::terminate).
+    std::mutex error_m;
+    std::exception_ptr error;
+    std::atomic<bool> cancelled{false};
+};
+
+/// RAII for the nesting flag: exceptions unwinding through a parallel
+/// section must not leave the thread marked as inside the pool.
+struct InsidePoolGuard {
+    InsidePoolGuard() { t_inside_pool = true; }
+    ~InsidePoolGuard() { t_inside_pool = false; }
+};
+
+u64 pop_own(StealRange& r) {
+    std::lock_guard<std::mutex> lock(r.m);
+    if (r.next >= r.end) return kNoTask;
+    return r.next++;
+}
+
+/// Steals the upper half of the victim's remaining range into `self`
+/// (which must be empty). Returns false if the victim had nothing.
+bool steal_from(StealRange& victim, StealRange& self) {
+    // Lock order by address: both directions of stealing may race.
+    StealRange* first  = &victim < &self ? &victim : &self;
+    StealRange* second = &victim < &self ? &self : &victim;
+    std::lock_guard<std::mutex> l1(first->m);
+    std::lock_guard<std::mutex> l2(second->m);
+    if (self.next < self.end) return true; // someone refilled us meanwhile
+    const u64 remaining = victim.end - victim.next;
+    if (remaining == 0) return false;
+    const u64 take = (remaining + 1) / 2;
+    self.next  = victim.end - take;
+    self.end   = victim.end;
+    victim.end = victim.end - take;
+    return true;
+}
+
+void run_participant(Job& job, u64 self) {
+    auto& mine = *job.ranges[self];
+    for (;;) {
+        u64 task = pop_own(mine);
+        if (task == kNoTask) {
+            // Steal from the participant with the most remaining work.
+            u64 best = kNoTask, best_remaining = 0;
+            for (u64 v = 0; v < job.ranges.size(); ++v) {
+                if (v == self) continue;
+                auto& r = *job.ranges[v];
+                std::lock_guard<std::mutex> lock(r.m);
+                const u64 remaining = r.end - r.next;
+                if (remaining > best_remaining) {
+                    best_remaining = remaining;
+                    best           = v;
+                }
+            }
+            if (best == kNoTask) return; // no work anywhere: done
+            if (!steal_from(*job.ranges[best], mine)) continue;
+            task = pop_own(mine);
+            if (task == kNoTask) continue;
+        }
+        if (job.cancelled.load(std::memory_order_acquire)) return;
+        try {
+            (*job.fn)(task);
+        } catch (...) {
+            std::lock_guard<std::mutex> lock(job.error_m);
+            if (!job.error) job.error = std::current_exception();
+            job.cancelled.store(true, std::memory_order_release);
+            return;
+        }
+    }
+}
+
+} // namespace
+
+// ---------------------------------------------------------------------------
+// ThreadPool
+// ---------------------------------------------------------------------------
+
+struct ThreadPool::Impl {
+    std::vector<std::thread> workers;
+    /// Serializes whole parallel sections: the job slot is single-occupancy,
+    /// so concurrent parallel_for calls from distinct external threads must
+    /// queue up instead of overwriting each other's published job.
+    std::mutex submit_m;
+    std::mutex m;
+    std::condition_variable cv_work;
+    std::condition_variable cv_done;
+    Job* job         = nullptr;  // currently published job (or null)
+    u64 participants = 0;        // participants of the published job
+    u64 generation   = 0;
+    bool stop        = false;
+
+    void worker_loop(u64 index) {
+        u64 seen = 0;
+        for (;;) {
+            Job* my_job = nullptr;
+            u64 self    = 0;
+            {
+                std::unique_lock<std::mutex> lock(m);
+                cv_work.wait(lock, [&] { return stop || generation != seen; });
+                if (stop) return;
+                seen = generation;
+                // Participant 0 is the caller; workers take 1 + index.
+                if (index + 1 < participants) {
+                    my_job = job;
+                    self   = index + 1;
+                }
+            }
+            if (my_job == nullptr) continue;
+            {
+                InsidePoolGuard inside;
+                run_participant(*my_job, self);
+            }
+            {
+                std::lock_guard<std::mutex> lock(m);
+                my_job->exited.fetch_add(1, std::memory_order_acq_rel);
+                cv_done.notify_all();
+            }
+        }
+    }
+};
+
+ThreadPool::ThreadPool(u64 num_threads) : impl_(new Impl) {
+    if (num_threads == 0) {
+        const u64 hw = std::thread::hardware_concurrency();
+        num_threads  = hw > 1 ? hw - 1 : 0;
+    }
+    impl_->workers.reserve(num_threads);
+    for (u64 i = 0; i < num_threads; ++i) {
+        impl_->workers.emplace_back([this, i] { impl_->worker_loop(i); });
+    }
+}
+
+ThreadPool::~ThreadPool() {
+    {
+        std::lock_guard<std::mutex> lock(impl_->m);
+        impl_->stop = true;
+    }
+    impl_->cv_work.notify_all();
+    for (auto& t : impl_->workers) t.join();
+    delete impl_;
+}
+
+u64 ThreadPool::num_threads() const { return impl_->workers.size() + 1; }
+
+void ThreadPool::parallel_for(u64 num_tasks, u64 max_workers,
+                              const std::function<void(u64)>& fn) {
+    if (num_tasks == 0) return;
+    u64 participants = num_threads();
+    if (max_workers != 0) participants = std::min(participants, max_workers);
+    participants = std::min(participants, num_tasks);
+    if (participants <= 1 || t_inside_pool) {
+        // Inline path: single participant or nested call from a worker.
+        for (u64 t = 0; t < num_tasks; ++t) fn(t);
+        return;
+    }
+    std::lock_guard<std::mutex> submit_lock(impl_->submit_m);
+
+    Job job;
+    job.fn = &fn;
+    job.ranges.reserve(participants);
+    for (u64 p = 0; p < participants; ++p) {
+        auto range  = std::make_unique<StealRange>();
+        range->next = block_begin(num_tasks, participants, p);
+        range->end  = block_begin(num_tasks, participants, p + 1);
+        job.ranges.push_back(std::move(range));
+    }
+
+    {
+        std::lock_guard<std::mutex> lock(impl_->m);
+        impl_->job          = &job;
+        impl_->participants = participants;
+        ++impl_->generation;
+    }
+    impl_->cv_work.notify_all();
+
+    {
+        InsidePoolGuard inside;
+        run_participant(job, 0);
+    }
+
+    {
+        std::unique_lock<std::mutex> lock(impl_->m);
+        job.exited.fetch_add(1, std::memory_order_acq_rel);
+        impl_->cv_done.wait(lock, [&] {
+            return job.exited.load(std::memory_order_acquire) == participants;
+        });
+        impl_->job          = nullptr;
+        impl_->participants = 0;
+    }
+    if (job.error) std::rethrow_exception(job.error);
+}
+
+ThreadPool& ThreadPool::global() {
+    static ThreadPool pool(0);
+    return pool;
+}
+
+// ---------------------------------------------------------------------------
+// Classic per-rank harness (now running on the pool)
+// ---------------------------------------------------------------------------
 
 std::vector<EdgeList> run_all(u64 size, const RankFn& fn, bool threaded) {
     std::vector<EdgeList> results(size);
@@ -11,38 +246,24 @@ std::vector<EdgeList> run_all(u64 size, const RankFn& fn, bool threaded) {
         for (u64 rank = 0; rank < size; ++rank) results[rank] = fn(rank, size);
         return results;
     }
-    std::vector<std::thread> threads;
-    threads.reserve(size);
-    for (u64 rank = 0; rank < size; ++rank) {
-        threads.emplace_back([&, rank] { results[rank] = fn(rank, size); });
-    }
-    for (auto& t : threads) t.join();
+    ThreadPool::global().parallel_for(
+        size, 0, [&](u64 rank) { results[rank] = fn(rank, size); });
     return results;
 }
 
 double run_timed(u64 size, const RankFn& fn, u64 hardware_threads) {
     if (hardware_threads == 0) hardware_threads = std::thread::hardware_concurrency();
     // Oversubscription guard: if there are more ranks than cores, ranks are
-    // processed by a worker pool; the measured makespan then corresponds to
-    // the per-core aggregate — still the quantity weak/strong scaling plots
-    // care about, and documented in EXPERIMENTS.md.
+    // processed by the worker pool; the measured makespan then corresponds
+    // to the per-core aggregate — still the quantity weak/strong scaling
+    // plots care about, and documented in EXPERIMENTS.md.
     const u64 workers = std::min<u64>(size, hardware_threads);
-    std::atomic<u64> next{0};
-    const auto start = std::chrono::steady_clock::now();
-    std::vector<std::thread> threads;
-    threads.reserve(workers);
-    for (u64 w = 0; w < workers; ++w) {
-        threads.emplace_back([&] {
-            for (;;) {
-                const u64 rank = next.fetch_add(1);
-                if (rank >= size) return;
-                EdgeList edges = fn(rank, size); // result dropped: timing only
-                // Keep the optimizer from deleting the generation.
-                asm volatile("" : : "r"(edges.data()) : "memory");
-            }
-        });
-    }
-    for (auto& t : threads) t.join();
+    const auto start  = std::chrono::steady_clock::now();
+    ThreadPool::global().parallel_for(size, workers, [&](u64 rank) {
+        EdgeList edges = fn(rank, size); // result dropped: timing only
+        // Keep the optimizer from deleting the generation.
+        asm volatile("" : : "r"(edges.data()) : "memory");
+    });
     const auto stop = std::chrono::steady_clock::now();
     return std::chrono::duration<double>(stop - start).count();
 }
@@ -58,6 +279,84 @@ EdgeList union_directed(const std::vector<EdgeList>& per_pe) {
     for (const auto& part : per_pe) append(all, part);
     sort_unique(all);
     return all;
+}
+
+// ---------------------------------------------------------------------------
+// Chunked execution engine
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// Per-chunk facade that forwards batches straight into a shared
+/// order-insensitive sink (whose consume() is thread-safe by contract).
+/// Construction zero-fills the inline buffer — negligible next to a
+/// chunk's generation work, so it is not hoisted per participant.
+class ForwardingSink final : public EdgeSink {
+public:
+    explicit ForwardingSink(EdgeSink& target) : target_(target) {}
+
+protected:
+    void consume(const Edge* edges, std::size_t count) override {
+        target_.deliver(edges, count);
+    }
+
+private:
+    EdgeSink& target_;
+};
+
+} // namespace
+
+ChunkRunStats run_chunked(const ChunkOptions& opt, const ChunkFn& fn, EdgeSink& sink) {
+    assert(opt.num_pes >= 1 && opt.chunks_per_pe >= 1);
+    const u64 num_chunks =
+        opt.total_chunks != 0 ? opt.total_chunks : opt.num_pes * opt.chunks_per_pe;
+    u64 workers = opt.threads;
+    if (workers == 0) {
+        workers = std::min<u64>(opt.num_pes, std::thread::hardware_concurrency());
+    }
+    workers = std::max<u64>(workers, 1);
+    ThreadPool& pool = opt.pool != nullptr ? *opt.pool : ThreadPool::global();
+
+    ChunkRunStats stats;
+    stats.num_chunks = num_chunks;
+    stats.workers    = std::min<u64>({workers, num_chunks, pool.num_threads()});
+
+    const auto start = std::chrono::steady_clock::now();
+    if (!sink.ordered()) {
+        // Order-insensitive sink: workers stream straight through private
+        // buffered facades; memory stays O(buffer) per worker.
+        pool.parallel_for(num_chunks, workers, [&](u64 chunk) {
+            ForwardingSink forward(sink);
+            fn(chunk, num_chunks, forward);
+            forward.flush();
+        });
+    } else {
+        // Ordered sink: chunks materialize into per-chunk buffers which are
+        // handed over in canonical chunk order as soon as the next-expected
+        // chunk completes — the output stream is bit-identical to a
+        // sequential run, for any worker count and any steal schedule.
+        std::vector<EdgeList> buffers(num_chunks);
+        std::vector<u8> ready(num_chunks, 0);
+        std::mutex deliver_mutex;
+        u64 cursor = 0;
+        pool.parallel_for(num_chunks, workers, [&](u64 chunk) {
+            MemorySink local;
+            fn(chunk, num_chunks, local);
+            EdgeList edges = local.take();
+            std::lock_guard<std::mutex> lock(deliver_mutex);
+            buffers[chunk] = std::move(edges);
+            ready[chunk]   = 1;
+            while (cursor < num_chunks && ready[cursor]) {
+                sink.deliver(buffers[cursor].data(), buffers[cursor].size());
+                buffers[cursor] = EdgeList{}; // release eagerly
+                ++cursor;
+            }
+        });
+        assert(cursor == num_chunks);
+    }
+    const auto stop = std::chrono::steady_clock::now();
+    stats.seconds   = std::chrono::duration<double>(stop - start).count();
+    return stats;
 }
 
 } // namespace kagen::pe

@@ -1,21 +1,30 @@
 /// \file pe.hpp
-/// \brief Logical-PE simulation harness.
+/// \brief Logical-PE simulation harness and chunked execution engine.
 ///
 /// The paper's generators are communication-free: each MPI rank computes its
 /// part of the graph as a pure function of (rank, P, seed, parameters). This
-/// harness substitutes MPI with logical PEs executed either sequentially
-/// (deterministic debugging / correctness tests) or on std::threads (scaling
-/// benchmarks). DESIGN.md §1 documents why this preserves the paper's
-/// behaviour: the per-PE code path is identical, and the harness additionally
-/// lets tests check cross-PE invariants exactly.
+/// harness substitutes MPI with logical PEs executed on a persistent
+/// work-stealing thread pool (or sequentially for deterministic debugging).
+/// DESIGN.md §1 documents why this preserves the paper's behaviour: the
+/// per-PE code path is identical, and the harness additionally lets tests
+/// check cross-PE invariants exactly.
+///
+/// Beyond the classic one-rank-per-thread model, `run_chunked` decouples the
+/// graph decomposition from the execution: the generator function is invoked
+/// once per *logical chunk* (same rank-splitting math as PEs — a chunk id
+/// simply plays the rank role), and K·P chunks are scheduled over the pool.
+/// Finer chunks mean better load balancing at identical output: chunk
+/// results are delivered to the sink in canonical chunk order, so the edge
+/// stream is bit-identical whether the run used 1 thread or 64, 1 chunk per
+/// PE or 16. DESIGN.md §5 has the full argument.
 #pragma once
 
 #include <functional>
-#include <thread>
 #include <vector>
 
 #include "common/types.hpp"
 #include "graph/edge_list.hpp"
+#include "sink/edge_sink.hpp"
 
 namespace kagen::pe {
 
@@ -25,7 +34,7 @@ using RankFn = std::function<EdgeList(u64 rank, u64 size)>;
 /// Runs ranks 0..size-1 and returns each rank's edge list.
 std::vector<EdgeList> run_all(u64 size, const RankFn& fn, bool threaded = false);
 
-/// Wall-clock seconds for executing all ranks concurrently on threads
+/// Wall-clock seconds for executing all ranks concurrently on the pool
 /// (the "makespan" — what an MPI job's slowest rank would take).
 double run_timed(u64 size, const RankFn& fn, u64 hardware_threads = 0);
 
@@ -34,5 +43,72 @@ EdgeList union_undirected(const std::vector<EdgeList>& per_pe);
 
 /// Deduplicated, sorted union of directed outputs.
 EdgeList union_directed(const std::vector<EdgeList>& per_pe);
+
+// ---------------------------------------------------------------------------
+// Persistent work-stealing thread pool
+// ---------------------------------------------------------------------------
+
+/// Fixed-size pool whose workers persist across parallel sections (thread
+/// spin-up would otherwise dominate chunk-granular scheduling). Tasks are
+/// dealt as contiguous per-participant index ranges; a participant that
+/// drains its range steals the upper half of the largest remaining range —
+/// the textbook lazy-splitting scheme. `parallel_for` is not reentrant from
+/// worker threads; nested calls degrade to inline sequential execution.
+class ThreadPool {
+public:
+    /// \param num_threads worker threads in addition to the caller;
+    ///        0 = hardware_concurrency() - 1.
+    explicit ThreadPool(u64 num_threads);
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool&)            = delete;
+    ThreadPool& operator=(const ThreadPool&) = delete;
+
+    /// Maximum participants of a parallel section (workers + caller).
+    u64 num_threads() const;
+
+    /// Executes fn(task) for every task in [0, num_tasks), using at most
+    /// `max_workers` participants (0 = all). Returns when every task has
+    /// completed. Deterministic per task; completion order is not.
+    void parallel_for(u64 num_tasks, u64 max_workers, const std::function<void(u64)>& fn);
+
+    /// Lazily constructed process-wide pool (hardware_concurrency threads).
+    static ThreadPool& global();
+
+private:
+    struct Impl;
+    Impl* impl_;
+};
+
+// ---------------------------------------------------------------------------
+// Chunked execution engine
+// ---------------------------------------------------------------------------
+
+/// Execution shape of a chunked run.
+struct ChunkOptions {
+    u64 num_pes       = 1; ///< simulated PEs P (worker-parallelism cap)
+    u64 chunks_per_pe = 1; ///< K: logical chunks per PE
+    u64 total_chunks  = 0; ///< canonical chunk count; 0 = K·P. Pinning this
+                           ///< makes the output independent of P and K.
+    u64 threads       = 0; ///< worker cap; 0 = min(P, hardware threads)
+    ThreadPool* pool  = nullptr; ///< pool to run on; null = global()
+};
+
+/// Generator body of one logical chunk: stream chunk `chunk` of
+/// `num_chunks` into `sink`. Must be pure in (chunk, num_chunks).
+using ChunkFn = std::function<void(u64 chunk, u64 num_chunks, EdgeSink& sink)>;
+
+struct ChunkRunStats {
+    u64 num_chunks = 0;    ///< canonical chunks executed
+    u64 workers    = 0;    ///< parallel participants used
+    double seconds = 0.0;  ///< wall clock of the parallel section (makespan)
+};
+
+/// Runs every canonical chunk through `fn` and streams the results into
+/// `sink`. Ordered sinks receive chunks in canonical order (bit-identical
+/// output for any thread count); unordered sinks (`ordered() == false`) get
+/// concurrent delivery with O(chunk) buffering per worker. The caller is
+/// responsible for `sink.finish()`.
+ChunkRunStats run_chunked(const ChunkOptions& opt, const ChunkFn& fn, EdgeSink& sink);
 
 } // namespace kagen::pe

@@ -7,6 +7,7 @@
 #include "common/math.hpp"
 #include "delaunay/delaunay.hpp"
 #include "rgg/rgg.hpp"
+#include "sink/sinks.hpp"
 
 namespace kagen::rdg {
 namespace {
@@ -244,8 +245,11 @@ PointGrid<D> point_grid(const Params& params, u64 size) {
 }
 
 template <int D>
-EdgeList generate(const Params& params, u64 rank, u64 size) {
-    if (params.n == 0) return {};
+void generate(const Params& params, u64 rank, u64 size, EdgeSink& sink) {
+    if (params.n == 0) {
+        sink.flush();
+        return;
+    }
     const PointGrid<D> grid = point_grid<D>(params, size);
     const u32 b             = rgg::chunk_levels<D>(size);
     const u32 shift         = (grid.levels() - b) * D;
@@ -253,7 +257,17 @@ EdgeList generate(const Params& params, u64 rank, u64 size) {
     const u64 cell_lo       = block_begin(num_chunks, size, rank) << shift;
     const u64 cell_hi       = block_begin(num_chunks, size, rank + 1) << shift;
     HaloTriangulator<D> tri(grid, cell_lo, cell_hi);
-    return tri.run();
+    // The incremental triangulation must converge before any edge is final,
+    // so the PE's edges stream out after the (local) halo fixpoint.
+    for (const auto& [u, v] : tri.run()) sink.emit(u, v);
+    sink.flush();
+}
+
+template <int D>
+EdgeList generate(const Params& params, u64 rank, u64 size) {
+    MemorySink sink;
+    generate<D>(params, rank, size, sink);
+    return sink.take();
 }
 
 template <int D>
@@ -312,6 +326,8 @@ template u32 cell_levels<2>(u64, u64);
 template u32 cell_levels<3>(u64, u64);
 template PointGrid<2> point_grid<2>(const Params&, u64);
 template PointGrid<3> point_grid<3>(const Params&, u64);
+template void generate<2>(const Params&, u64, u64, EdgeSink&);
+template void generate<3>(const Params&, u64, u64, EdgeSink&);
 template EdgeList generate<2>(const Params&, u64, u64);
 template EdgeList generate<3>(const Params&, u64, u64);
 template EdgeList reference<2>(const Params&, u64);

@@ -19,6 +19,7 @@
 #include "common/types.hpp"
 #include "geometry/point_grid.hpp"
 #include "graph/edge_list.hpp"
+#include "sink/edge_sink.hpp"
 
 namespace kagen::rdg {
 
@@ -38,6 +39,11 @@ PointGrid<D> point_grid(const Params& params, u64 size);
 
 /// Delaunay edges incident to PE `rank`'s vertices, canonical (min,max) ids,
 /// deduplicated within the PE. Cross-PE edges appear on both owners.
+/// The sink overload streams the (per-PE deduplicated) edges once the halo
+/// triangulation converges; the EdgeList overload wraps a MemorySink.
+template <int D>
+void generate(const Params& params, u64 rank, u64 size, EdgeSink& sink);
+
 template <int D>
 EdgeList generate(const Params& params, u64 rank, u64 size);
 

@@ -5,6 +5,7 @@
 #include <unordered_map>
 
 #include "common/math.hpp"
+#include "sink/sinks.hpp"
 
 namespace kagen::rgg {
 namespace {
@@ -48,7 +49,7 @@ PointGrid<D> point_grid(const Params& params, u64 size) {
 }
 
 template <int D>
-EdgeList generate(const Params& params, u64 rank, u64 size) {
+void generate(const Params& params, u64 rank, u64 size, EdgeSink& sink) {
     const PointGrid<D> grid = point_grid<D>(params, size);
     const u32 b             = chunk_levels<D>(size);
     const u32 l             = grid.levels();
@@ -95,7 +96,6 @@ EdgeList generate(const Params& params, u64 rank, u64 size) {
         return it->second;
     };
 
-    EdgeList edges;
     std::array<u64, D> nb{};
     for (const u64 cell : occupied) {
         const auto& mine = points_of(cell);
@@ -126,7 +126,7 @@ EdgeList generate(const Params& params, u64 rank, u64 size) {
                         for (std::size_t i = 0; i < mine.size(); ++i) {
                             for (std::size_t j = i + 1; j < mine.size(); ++j) {
                                 if (distance_sq(mine[i].pos, mine[j].pos) <= r_sq) {
-                                    edges.emplace_back(mine[i].id, mine[j].id);
+                                    sink.emit(mine[i].id, mine[j].id);
                                 }
                             }
                         }
@@ -134,8 +134,8 @@ EdgeList generate(const Params& params, u64 rank, u64 size) {
                         for (const auto& p : mine) {
                             for (const auto& q : theirs) {
                                 if (distance_sq(p.pos, q.pos) <= r_sq) {
-                                    edges.emplace_back(std::min(p.id, q.id),
-                                                       std::max(p.id, q.id));
+                                    sink.emit(std::min(p.id, q.id),
+                                              std::max(p.id, q.id));
                                 }
                             }
                         }
@@ -154,7 +154,14 @@ EdgeList generate(const Params& params, u64 rank, u64 size) {
     // A local pair of cells both see the pair (A,B) from A's side only, but
     // (A,B) and (B,A) cross-cell scans emit each edge once; within-PE
     // duplicates cannot occur. Cross-PE duplicates are intended (paper §5.1).
-    return edges;
+    sink.flush();
+}
+
+template <int D>
+EdgeList generate(const Params& params, u64 rank, u64 size) {
+    MemorySink sink;
+    generate<D>(params, rank, size, sink);
+    return sink.take();
 }
 
 template <int D>
@@ -180,6 +187,8 @@ template u32 cell_levels<2>(u64, double, u64);
 template u32 cell_levels<3>(u64, double, u64);
 template PointGrid<2> point_grid<2>(const Params&, u64);
 template PointGrid<3> point_grid<3>(const Params&, u64);
+template void generate<2>(const Params&, u64, u64, EdgeSink&);
+template void generate<3>(const Params&, u64, u64, EdgeSink&);
 template EdgeList generate<2>(const Params&, u64, u64);
 template EdgeList generate<3>(const Params&, u64, u64);
 template EdgeList brute_force<2>(const Params&, u64);

@@ -15,6 +15,7 @@
 #include "common/types.hpp"
 #include "geometry/point_grid.hpp"
 #include "graph/edge_list.hpp"
+#include "sink/edge_sink.hpp"
 
 namespace kagen::rgg {
 
@@ -40,6 +41,11 @@ PointGrid<D> point_grid(const Params& params, u64 size);
 
 /// Edges of PE `rank`: all edges incident to vertices of its chunks.
 /// Canonical (min-id, max-id) orientation; each edge appears once per PE.
+/// The sink overload streams edges as the cell sweep finds them; the
+/// EdgeList overload is a MemorySink wrapper (bit-identical output).
+template <int D>
+void generate(const Params& params, u64 rank, u64 size, EdgeSink& sink);
+
 template <int D>
 EdgeList generate(const Params& params, u64 rank, u64 size);
 

@@ -4,6 +4,8 @@
 #include <map>
 #include <numbers>
 
+#include "sink/sinks.hpp"
+
 namespace kagen::rhg {
 namespace {
 
@@ -78,7 +80,7 @@ u32 first_streaming_annulus(const hyp::HypGrid& grid) {
     return grid.num_annuli(); // everything global
 }
 
-EdgeList generate_inmemory(const hyp::Params& params, u64 rank, u64 size) {
+void generate_inmemory(const hyp::Params& params, u64 rank, u64 size, EdgeSink& sink) {
     const hyp::HypGrid grid(params, size);
     const auto& space = grid.space();
     ChunkCache cache(grid);
@@ -101,12 +103,21 @@ EdgeList generate_inmemory(const hyp::Params& params, u64 rank, u64 size) {
             }
         }
     }
-    // Each local pair was found from both endpoints; dedupe locally.
+    // Each local pair was found from both endpoints; dedupe locally before
+    // streaming out (the query loop cannot know an edge is new until the
+    // whole annulus sweep is over).
     sort_unique(edges);
-    return edges;
+    for (const auto& [u, v] : edges) sink.emit(u, v);
+    sink.flush();
 }
 
-EdgeList generate_streaming(const hyp::Params& params, u64 rank, u64 size) {
+EdgeList generate_inmemory(const hyp::Params& params, u64 rank, u64 size) {
+    MemorySink sink;
+    generate_inmemory(params, rank, size, sink);
+    return sink.take();
+}
+
+void generate_streaming(const hyp::Params& params, u64 rank, u64 size, EdgeSink& sink) {
     const hyp::HypGrid grid(params, size);
     const auto& space    = grid.space();
     const u32 stream_lo  = first_streaming_annulus(grid);
@@ -244,7 +255,14 @@ EdgeList generate_streaming(const hyp::Params& params, u64 rank, u64 size) {
         }
     }
     sort_unique(edges);
-    return edges;
+    for (const auto& [u, v] : edges) sink.emit(u, v);
+    sink.flush();
+}
+
+EdgeList generate_streaming(const hyp::Params& params, u64 rank, u64 size) {
+    MemorySink sink;
+    generate_streaming(params, rank, size, sink);
+    return sink.take();
 }
 
 EdgeList brute_force(const hyp::Params& params, u64 size) {

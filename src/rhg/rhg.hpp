@@ -24,13 +24,18 @@
 #include "common/types.hpp"
 #include "graph/edge_list.hpp"
 #include "hyperbolic/hyperbolic.hpp"
+#include "sink/edge_sink.hpp"
 
 namespace kagen::rhg {
 
-/// In-memory query-centric generator (§7.1).
+/// In-memory query-centric generator (§7.1). The sink overload streams the
+/// PE's (locally deduplicated) edges; the EdgeList overload wraps a
+/// MemorySink — both orderings and contents are bit-identical.
+void generate_inmemory(const hyp::Params& params, u64 rank, u64 size, EdgeSink& sink);
 EdgeList generate_inmemory(const hyp::Params& params, u64 rank, u64 size);
 
 /// Streaming request-centric generator (§7.2).
+void generate_streaming(const hyp::Params& params, u64 rank, u64 size, EdgeSink& sink);
 EdgeList generate_streaming(const hyp::Params& params, u64 rank, u64 size);
 
 /// Theta(n^2) all-pairs reference over the same point set.

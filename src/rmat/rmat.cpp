@@ -4,6 +4,7 @@
 
 #include "common/math.hpp"
 #include "prng/spooky.hpp"
+#include "sink/sinks.hpp"
 
 namespace kagen::rmat {
 namespace {
@@ -48,14 +49,18 @@ Edge edge_at(const Params& params, u64 index) {
     return {row, col};
 }
 
-EdgeList generate(const Params& params, u64 rank, u64 size) {
+void generate(const Params& params, u64 rank, u64 size, EdgeSink& sink) {
     assert(params.a + params.b + params.c <= 1.0 + 1e-12);
     const u64 lo = block_begin(params.m, size, rank);
     const u64 hi = block_begin(params.m, size, rank + 1);
-    EdgeList edges;
-    edges.reserve(hi - lo);
-    for (u64 i = lo; i < hi; ++i) edges.push_back(edge_at(params, i));
-    return edges;
+    for (u64 i = lo; i < hi; ++i) sink.emit(edge_at(params, i));
+    sink.flush();
+}
+
+EdgeList generate(const Params& params, u64 rank, u64 size) {
+    MemorySink sink;
+    generate(params, rank, size, sink);
+    return sink.take();
 }
 
 } // namespace kagen::rmat

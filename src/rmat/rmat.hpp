@@ -16,6 +16,7 @@
 
 #include "common/types.hpp"
 #include "graph/edge_list.hpp"
+#include "sink/edge_sink.hpp"
 
 namespace kagen::rmat {
 
@@ -28,7 +29,9 @@ struct Params {
     u64 seed  = 1;
 };
 
-/// The edges with indices in `rank`'s block of [0, m).
+/// The edges with indices in `rank`'s block of [0, m). The sink overload
+/// streams them in index order; the EdgeList overload wraps a MemorySink.
+void generate(const Params& params, u64 rank, u64 size, EdgeSink& sink);
 EdgeList generate(const Params& params, u64 rank, u64 size);
 
 /// Single edge by index (test hook; the generator is this, blocked).

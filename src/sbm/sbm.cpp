@@ -5,6 +5,7 @@
 
 #include "common/math.hpp"
 #include "sampling/sampling.hpp"
+#include "sink/sinks.hpp"
 #include "variates/variates.hpp"
 
 namespace kagen::sbm {
@@ -25,7 +26,7 @@ Interval intersect(Interval a, Interval b) {
 
 /// Bernoulli-samples the rows x cols rectangle with probability p; all row
 /// ids must exceed all col ids (guaranteed by the caller's decomposition).
-void sample_rectangle(u64 seed, Interval rows, Interval cols, double p, EdgeList& out) {
+void sample_rectangle(u64 seed, Interval rows, Interval cols, double p, EdgeSink& out) {
     if (rows.empty() || cols.empty() || p <= 0.0) return;
     const u64 universe = rows.size() * cols.size();
     // Region id = its corner in the global adjacency matrix (unique across
@@ -35,12 +36,12 @@ void sample_rectangle(u64 seed, Interval rows, Interval cols, double p, EdgeList
     if (count == 0) return;
     Rng rng = Rng::for_ids(seed, {kTagRegion, rows.lo, cols.lo, 1});
     sorted_sample(rng, universe, count, [&](u64 idx) {
-        out.emplace_back(rows.lo + idx / cols.size(), cols.lo + idx % cols.size());
+        out.emit(rows.lo + idx / cols.size(), cols.lo + idx % cols.size());
     });
 }
 
 /// Bernoulli-samples the strictly-lower triangle of the square over `span`.
-void sample_triangle(u64 seed, Interval span, double p, EdgeList& out) {
+void sample_triangle(u64 seed, Interval span, double p, EdgeSink& out) {
     if (span.size() < 2 || p <= 0.0) return;
     const u64 universe = static_cast<u64>(triangle(span.size()));
     Rng count_rng      = Rng::for_ids(seed, {kTagRegion, span.lo, span.lo, 2});
@@ -49,7 +50,7 @@ void sample_triangle(u64 seed, Interval span, double p, EdgeList& out) {
     Rng rng = Rng::for_ids(seed, {kTagRegion, span.lo, span.lo, 3});
     sorted_sample(rng, universe, count, [&](u64 idx) {
         const u64 r = triangle_row(idx);
-        out.emplace_back(span.lo + r, span.lo + idx - static_cast<u64>(triangle(r)));
+        out.emit(span.lo + r, span.lo + idx - static_cast<u64>(triangle(r)));
     });
 }
 
@@ -73,7 +74,7 @@ struct Layout {
 /// Generates all edges of the chunk pair (row chunk cp, col chunk cq),
 /// cq <= cp, split along block boundaries.
 void generate_chunk_pair(const Params& params, const Layout& layout, u64 size, u64 cp,
-                         u64 cq, EdgeList& out) {
+                         u64 cq, EdgeSink& out) {
     const Interval rows{block_begin(layout.n, size, cp),
                         block_begin(layout.n, size, cp + 1)};
     const Interval cols{block_begin(layout.n, size, cq),
@@ -118,7 +119,7 @@ Params planted_partition(u64 n, u64 blocks, double p_in, double p_out, u64 seed)
     return params;
 }
 
-EdgeList generate(const Params& params, u64 rank, u64 size) {
+void generate(const Params& params, u64 rank, u64 size, EdgeSink& sink) {
     assert(params.probs.size() == params.block_sizes.size());
     Layout layout;
     layout.n = num_vertices(params);
@@ -127,14 +128,21 @@ EdgeList generate(const Params& params, u64 rank, u64 size) {
         layout.block_offset[b + 1] = layout.block_offset[b] + params.block_sizes[b];
     }
 
-    EdgeList out;
     // Row chunks (rank, q <= rank): edges whose higher endpoint is local.
-    for (u64 q = 0; q <= rank; ++q) generate_chunk_pair(params, layout, size, rank, q, out);
+    for (u64 q = 0; q <= rank; ++q) {
+        generate_chunk_pair(params, layout, size, rank, q, sink);
+    }
     // Column chunks (p > rank, rank): edges whose lower endpoint is local.
     for (u64 p = rank + 1; p < size; ++p) {
-        generate_chunk_pair(params, layout, size, p, rank, out);
+        generate_chunk_pair(params, layout, size, p, rank, sink);
     }
-    return out;
+    sink.flush();
+}
+
+EdgeList generate(const Params& params, u64 rank, u64 size) {
+    MemorySink sink;
+    generate(params, rank, size, sink);
+    return sink.take();
 }
 
 } // namespace kagen::sbm

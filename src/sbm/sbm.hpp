@@ -24,6 +24,7 @@
 
 #include "common/types.hpp"
 #include "graph/edge_list.hpp"
+#include "sink/edge_sink.hpp"
 
 namespace kagen::sbm {
 
@@ -45,6 +46,9 @@ u64 num_vertices(const Params& params);
 Params planted_partition(u64 n, u64 blocks, double p_in, double p_out, u64 seed);
 
 /// Edges incident to PE `rank`'s vertex range (block partition of [0, n)).
+/// The sink overload streams region by region; the EdgeList overload wraps
+/// a MemorySink (bit-identical output).
+void generate(const Params& params, u64 rank, u64 size, EdgeSink& sink);
 EdgeList generate(const Params& params, u64 rank, u64 size);
 
 } // namespace kagen::sbm

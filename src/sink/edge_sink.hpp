@@ -1,0 +1,81 @@
+/// \file edge_sink.hpp
+/// \brief Streaming edge-sink abstraction: the consumer side of every
+///        generator's core loop.
+///
+/// The paper's generators compute a PE's (or chunk's) edges as a pure
+/// function of (chunk, num_chunks, seed, params) — nothing about that
+/// requires materializing an EdgeList. `EdgeSink` decouples production from
+/// consumption: the same generator loop can fill a vector (`MemorySink`),
+/// count edges (`CountingSink`), accumulate a degree histogram without ever
+/// storing an edge (`DegreeStatsSink`), or stream to disk in the
+/// `graph/io` binary format (`BinaryFileSink`). See DESIGN.md §4.
+///
+/// Emission goes through a small inline buffer, so the virtual `consume`
+/// dispatch is amortized over `kBufferEdges` edges — generator inner loops
+/// pay one predictable branch per edge, which benches show is within noise
+/// of direct `std::vector::push_back`.
+///
+/// Threading contract: a sink instance is single-writer. The chunked
+/// execution engine (pe/pe.hpp) gives each worker a private buffer and
+/// serializes delivery; sinks that opt into unordered delivery
+/// (`ordered() == false`) must make `consume` thread-safe themselves.
+#pragma once
+
+#include <array>
+#include <cstddef>
+
+#include "common/types.hpp"
+
+namespace kagen {
+
+class EdgeSink {
+public:
+    virtual ~EdgeSink() = default;
+
+    /// Emits one edge. Inline fast path; flushes to `consume` when the
+    /// buffer fills.
+    void emit(VertexId u, VertexId v) {
+        buffer_[fill_++] = Edge{u, v};
+        if (fill_ == kBufferEdges) flush();
+    }
+
+    void emit(const Edge& e) { emit(e.first, e.second); }
+
+    /// Drains the inline buffer into `consume`. Idempotent.
+    void flush() {
+        if (fill_ == 0) return;
+        consume(buffer_.data(), fill_);
+        fill_ = 0;
+    }
+
+    /// Flushes and finalizes (e.g. patches file headers). Call exactly once
+    /// when the stream is complete; `emit` must not be called afterwards.
+    virtual void finish() { flush(); }
+
+    /// Direct batch delivery, bypassing the inline buffer — used by
+    /// execution engines that already hold whole chunks of edges. Must not
+    /// be interleaved with `emit` calls on the same sink by other writers.
+    void deliver(const Edge* edges, std::size_t count) {
+        if (count > 0) consume(edges, count);
+    }
+
+    /// Whether the chunked engine must deliver chunks in canonical order.
+    /// Order-insensitive sinks (counters, histograms) return false and
+    /// accept concurrent `consume` calls, enabling fully streaming parallel
+    /// consumption with O(buffer) memory.
+    virtual bool ordered() const { return true; }
+
+protected:
+    /// Receives a batch of edges; count >= 1 (buffered emits arrive in
+    /// batches of at most kBufferEdges, `deliver` passes batches through
+    /// unchanged).
+    virtual void consume(const Edge* edges, std::size_t count) = 0;
+
+    static constexpr std::size_t kBufferEdges = 1024;
+
+private:
+    std::array<Edge, kBufferEdges> buffer_;
+    std::size_t fill_ = 0;
+};
+
+} // namespace kagen

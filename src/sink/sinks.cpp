@@ -1,0 +1,88 @@
+#include "sink/sinks.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace kagen {
+
+void CountingSink::consume(const Edge* edges, std::size_t count) {
+    u64 loops = 0;
+    for (std::size_t i = 0; i < count; ++i) {
+        if (edges[i].first == edges[i].second) ++loops;
+    }
+    std::lock_guard<std::mutex> lock(mutex_);
+    num_edges_ += count;
+    num_self_loops_ += loops;
+}
+
+void DegreeStatsSink::consume(const Edge* edges, std::size_t count) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    num_edges_ += count;
+    for (std::size_t i = 0; i < count; ++i) {
+        ++degrees_[edges[i].first];
+        ++degrees_[edges[i].second];
+    }
+}
+
+double DegreeStatsSink::average_degree() const {
+    if (degrees_.empty()) return 0.0;
+    u128 sum = 0;
+    for (const u64 d : degrees_) sum += d;
+    return static_cast<double>(sum) / static_cast<double>(degrees_.size());
+}
+
+u64 DegreeStatsSink::max_degree() const {
+    return degrees_.empty() ? 0 : *std::max_element(degrees_.begin(), degrees_.end());
+}
+
+std::vector<u64> DegreeStatsSink::degree_histogram() const {
+    std::vector<u64> hist(max_degree() + 1, 0);
+    for (const u64 d : degrees_) ++hist[d];
+    return hist;
+}
+
+BinaryFileSink::BinaryFileSink(const std::string& path)
+    : path_(path), file_(std::fopen(path.c_str(), "wb")) {
+    if (file_ == nullptr) {
+        throw std::runtime_error("cannot open '" + path + "'");
+    }
+    const u64 placeholder = 0; // patched by finish()
+    if (std::fwrite(&placeholder, sizeof(placeholder), 1, file_) != 1) {
+        std::fclose(file_);
+        file_ = nullptr;
+        throw std::runtime_error("cannot write header of '" + path + "'");
+    }
+}
+
+BinaryFileSink::~BinaryFileSink() {
+    if (file_ != nullptr) std::fclose(file_);
+}
+
+void BinaryFileSink::consume(const Edge* edges, std::size_t count) {
+    for (std::size_t i = 0; i < count; ++i) {
+        const u64 pair[2] = {edges[i].first, edges[i].second};
+        if (std::fwrite(pair, sizeof(u64), 2, file_) != 2) {
+            // Fail loudly now: finish() would otherwise back-patch a header
+            // claiming edges that never reached the disk (e.g. ENOSPC).
+            throw std::runtime_error("short write to '" + path_ + "'");
+        }
+    }
+    num_edges_ += count;
+}
+
+void BinaryFileSink::finish() {
+    if (finished_) return;
+    flush();
+    if (std::fseek(file_, 0, SEEK_SET) != 0 ||
+        std::fwrite(&num_edges_, sizeof(num_edges_), 1, file_) != 1) {
+        throw std::runtime_error("cannot patch edge count in '" + path_ + "'");
+    }
+    if (std::fclose(file_) != 0) {
+        file_ = nullptr;
+        throw std::runtime_error("cannot close '" + path_ + "'");
+    }
+    file_     = nullptr;
+    finished_ = true;
+}
+
+} // namespace kagen

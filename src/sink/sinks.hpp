@@ -1,0 +1,113 @@
+/// \file sinks.hpp
+/// \brief Concrete edge sinks: in-memory, counting, degree statistics, and
+///        binary file streaming. See edge_sink.hpp for the contract.
+#pragma once
+
+#include <cstdio>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+#include "sink/edge_sink.hpp"
+
+namespace kagen {
+
+/// Appends every edge to an EdgeList — the pre-sink behaviour. All legacy
+/// EdgeList-returning generator entry points are thin wrappers over this.
+class MemorySink final : public EdgeSink {
+public:
+    /// Owns its edge list.
+    MemorySink() : out_(&owned_) {}
+
+    /// Appends into a caller-provided list (no copy on take-out).
+    explicit MemorySink(EdgeList* out) : out_(out) {}
+
+    const EdgeList& edges() const { return *out_; }
+
+    /// Moves the collected edges out (owning mode only).
+    EdgeList take() {
+        flush();
+        return std::move(owned_);
+    }
+
+protected:
+    void consume(const Edge* edges, std::size_t count) override {
+        out_->insert(out_->end(), edges, edges + count);
+    }
+
+private:
+    EdgeList owned_;
+    EdgeList* out_;
+};
+
+/// Counts edges (and self-loops) without storing anything. Accepts
+/// concurrent delivery from the chunked engine.
+class CountingSink final : public EdgeSink {
+public:
+    u64 num_edges() const { return num_edges_; }
+    u64 num_self_loops() const { return num_self_loops_; }
+    bool ordered() const override { return false; }
+
+protected:
+    void consume(const Edge* edges, std::size_t count) override;
+
+private:
+    std::mutex mutex_;
+    u64 num_edges_      = 0;
+    u64 num_self_loops_ = 0;
+};
+
+/// Streams per-vertex degree counts (both endpoints of every emitted edge,
+/// matching kagen::degrees on the materialized list) without storing edges.
+/// Memory: O(n), independent of the edge count. Accepts concurrent delivery.
+class DegreeStatsSink final : public EdgeSink {
+public:
+    explicit DegreeStatsSink(u64 n) : degrees_(n, 0) {}
+
+    u64 num_edges() const { return num_edges_; }
+    const std::vector<u64>& degrees() const { return degrees_; }
+    double average_degree() const;
+    u64 max_degree() const;
+
+    /// Histogram over degree values: hist[d] = number of vertices with
+    /// degree d (dense up to the maximum degree).
+    std::vector<u64> degree_histogram() const;
+
+    bool ordered() const override { return false; }
+
+protected:
+    void consume(const Edge* edges, std::size_t count) override;
+
+private:
+    std::mutex mutex_;
+    std::vector<u64> degrees_;
+    u64 num_edges_ = 0;
+};
+
+/// Streams edges to disk in the graph/io binary format (u64 count header,
+/// then u64 pairs); the header is back-patched in finish(), so the edge
+/// count never needs to be known up front. Output is bit-identical to
+/// io::write_edge_list_binary over the same edge sequence.
+class BinaryFileSink final : public EdgeSink {
+public:
+    explicit BinaryFileSink(const std::string& path);
+    ~BinaryFileSink() override;
+
+    BinaryFileSink(const BinaryFileSink&)            = delete;
+    BinaryFileSink& operator=(const BinaryFileSink&) = delete;
+
+    void finish() override;
+    u64 num_edges() const { return num_edges_; }
+
+protected:
+    void consume(const Edge* edges, std::size_t count) override;
+
+private:
+    std::string path_;
+    std::FILE* file_;
+    u64 num_edges_ = 0;
+    bool finished_ = false;
+};
+
+} // namespace kagen

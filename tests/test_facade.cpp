@@ -69,6 +69,40 @@ TEST(Facade, RmatRoundsVertexCount) {
     Config cfg = small_config(Model::Rmat);
     cfg.n      = 1000; // not a power of two
     EXPECT_EQ(generate(cfg, 0, 1).n, 1024u);
+    EXPECT_EQ(num_vertices(cfg), 1024u);
+}
+
+TEST(Facade, RmatHandlesDegenerateVertexCounts) {
+    // Regression: the old round-up loop turned n = 0 into a 1-vertex graph
+    // and relied on iterating a shift towards overflow; n <= 1 must yield
+    // exactly n vertices and no edges (the 2^0-vertex "graph" has no
+    // non-trivial adjacency matrix to recurse on).
+    Config cfg = small_config(Model::Rmat);
+    cfg.m      = 50;
+    for (const u64 n : {u64{0}, u64{1}}) {
+        cfg.n          = n;
+        const Result r = generate(cfg, 0, 1);
+        EXPECT_EQ(r.n, n);
+        EXPECT_TRUE(r.edges.empty());
+    }
+    cfg.n = 2; // smallest non-degenerate instance: one recursion level
+    const Result r2 = generate(cfg, 0, 1);
+    EXPECT_EQ(r2.n, 2u);
+    EXPECT_EQ(r2.edges.size(), cfg.m);
+    for (const auto& [u, v] : r2.edges) {
+        EXPECT_LT(u, 2u);
+        EXPECT_LT(v, 2u);
+    }
+    // Powers of two must not round up further.
+    cfg.n = 512;
+    EXPECT_EQ(num_vertices(cfg), 512u);
+    // Beyond 2^63 the power-of-two round-up cannot be represented — both
+    // the EdgeList path and the streaming path must refuse up front.
+    cfg.n = (u64{1} << 63) + 1;
+    EXPECT_THROW(num_vertices(cfg), std::invalid_argument);
+    MemorySink sink;
+    EXPECT_THROW(generate(cfg, 0, 1, sink), std::invalid_argument);
+    EXPECT_THROW(generate_chunked(cfg, 2, sink), std::invalid_argument);
 }
 
 TEST(Facade, InvalidRankThrows) {
