@@ -97,6 +97,60 @@ BENCHMARK(ChunkingSpeedup)
     ->Iterations(3)
     ->Unit(benchmark::kMillisecond);
 
+void OwnershipFilterOverhead(benchmark::State& state) {
+    // exact_once vs as_generated, side by side on the same instance: the
+    // ownership filter buys duplicate-free streaming statistics for the
+    // price of one interval test per emitted edge. Tracked here so BENCH_*
+    // json shows the filter's cost over time; the duplicate counters also
+    // record how much redundancy the tie-break removes.
+    const u64 P = std::max<u64>(2, std::thread::hardware_concurrency());
+
+    Config cfg;
+    cfg.model         = state.range(0) == 0 ? Model::GnmUndirected : Model::Rgg2D;
+    cfg.n             = u64{1} << 18;
+    cfg.m             = 16 * cfg.n;
+    cfg.r             = 0.002;
+    cfg.seed          = 3;
+    cfg.chunks_per_pe = 4;
+
+    {
+        CountingSink warmup;
+        generate_chunked(cfg, P, warmup);
+    }
+    double t_as_gen = 0.0, t_exact = 0.0;
+    u64 edges_as_gen = 0, edges_exact = 0;
+    for (auto _ : state) {
+        cfg.edge_semantics = EdgeSemantics::as_generated;
+        CountingSink as_gen(cfg.edge_semantics);
+        t_as_gen      = generate_chunked(cfg, P, as_gen).seconds;
+        edges_as_gen  = as_gen.num_edges();
+
+        cfg.edge_semantics = EdgeSemantics::exact_once;
+        CountingSink exact(cfg.edge_semantics);
+        t_exact     = generate_chunked(cfg, P, exact).seconds;
+        edges_exact = exact.num_edges();
+        state.SetIterationTime(t_as_gen + t_exact);
+    }
+    state.counters["PEs"]                  = static_cast<double>(P);
+    state.counters["edges_as_generated"]   = static_cast<double>(edges_as_gen);
+    state.counters["edges_exact_once"]     = static_cast<double>(edges_exact);
+    state.counters["duplicates_removed"]   = static_cast<double>(edges_as_gen - edges_exact);
+    state.counters["makespan_as_generated_s"] = t_as_gen;
+    state.counters["makespan_exact_once_s"]   = t_exact;
+    state.counters["exact_once_overhead"]     = t_exact / t_as_gen;
+    state.counters["Medges/s_as_generated"] =
+        static_cast<double>(edges_as_gen) / t_as_gen / 1e6;
+    state.counters["Medges/s_exact_once"] =
+        static_cast<double>(edges_exact) / t_exact / 1e6;
+}
+
+BENCHMARK(OwnershipFilterOverhead)
+    ->Arg(0) // gnm_undirected
+    ->Arg(1) // rgg2d
+    ->UseManualTime()
+    ->Iterations(3)
+    ->Unit(benchmark::kMillisecond);
+
 } // namespace
 
 KAGEN_BENCH_MAIN(
@@ -106,4 +160,6 @@ KAGEN_BENCH_MAIN(
     "< 22 minutes and the projection should land in the same order of "
     "magnitude. (2) Work-stealing chunk speedup: K·P logical chunks vs "
     "one chunk per PE on a skewed RHG instance; speedup_vs_1chunk > 1 "
-    "on multicore hosts.")
+    "on multicore hosts. (3) Ownership-filter overhead: exact_once vs "
+    "as_generated makespans side by side on duplicate-carrying models — "
+    "the cost of streaming duplicate-free counts with zero communication.")

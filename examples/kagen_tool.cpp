@@ -30,6 +30,13 @@
 //   -chunks-per-pe K   logical chunks per PE (default 4)
 //   -chunks C   pin the canonical chunk count (graph then independent of
 //               -pes / -chunks-per-pe)
+//   -edge-semantics S  as_generated (default) | exact_once. The incident-
+//               edge models (gnm/gnp_undirected, rgg*, rdg*, rhg) redundantly
+//               emit cross-chunk edges on both owners; exact_once applies
+//               the lower-endpoint ownership tie-break so every edge is
+//               emitted exactly once — counts, degree stats, and files then
+//               describe the true graph with no post-hoc dedup. Applies to
+//               both the per-PE and the -sink paths.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -58,28 +65,25 @@ int run_chunked_sink(const Config& cfg, const std::string& kind, u64 pes,
                      const char* out_path) {
     const u64 n = num_vertices(cfg);
     if (kind == "count") {
-        CountingSink sink;
+        CountingSink sink(cfg.edge_semantics);
         const ChunkStats stats = generate_chunked(cfg, pes, sink);
         sink.finish();
-        std::printf("model=%s n=%llu edges=%llu self_loops=%llu chunks=%llu "
-                    "workers=%llu seconds=%.6f\n",
+        // summary() labels the totals with the semantics they were computed
+        // under — an as_generated count includes intentional duplicates.
+        std::printf("model=%s n=%llu %s chunks=%llu workers=%llu seconds=%.6f\n",
                     model_name(cfg.model), static_cast<unsigned long long>(n),
-                    static_cast<unsigned long long>(sink.num_edges()),
-                    static_cast<unsigned long long>(sink.num_self_loops()),
+                    sink.summary().c_str(),
                     static_cast<unsigned long long>(stats.num_chunks),
                     static_cast<unsigned long long>(stats.workers), stats.seconds);
         return 0;
     }
     if (kind == "stats") {
-        DegreeStatsSink sink(n);
+        DegreeStatsSink sink(n, cfg.edge_semantics);
         const ChunkStats stats = generate_chunked(cfg, pes, sink);
         sink.finish();
-        std::printf("model=%s n=%llu edges=%llu avg_deg=%.4f max_deg=%llu "
-                    "chunks=%llu seconds=%.6f\n",
+        std::printf("model=%s n=%llu %s chunks=%llu seconds=%.6f\n",
                     model_name(cfg.model), static_cast<unsigned long long>(n),
-                    static_cast<unsigned long long>(sink.num_edges()),
-                    sink.average_degree(),
-                    static_cast<unsigned long long>(sink.max_degree()),
+                    sink.summary().c_str(),
                     static_cast<unsigned long long>(stats.num_chunks), stats.seconds);
         const auto hist = sink.degree_histogram();
         for (std::size_t d = 0; d < hist.size(); ++d) {
@@ -98,9 +102,10 @@ int run_chunked_sink(const Config& cfg, const std::string& kind, u64 pes,
         BinaryFileSink sink(out_path);
         const ChunkStats stats = generate_chunked(cfg, pes, sink);
         sink.finish();
-        std::printf("model=%s n=%llu edges=%llu -> %s (binary) chunks=%llu "
+        std::printf("model=%s n=%llu edges[%s]=%llu -> %s (binary) chunks=%llu "
                     "seconds=%.6f\n",
                     model_name(cfg.model), static_cast<unsigned long long>(n),
+                    semantics_name(cfg.edge_semantics),
                     static_cast<unsigned long long>(sink.num_edges()), out_path,
                     static_cast<unsigned long long>(stats.num_chunks), stats.seconds);
         return 0;
@@ -155,7 +160,8 @@ int main(int argc, char** argv) {
                      "usage: %s <model> [-n N] [-m M] [-p P] [-r R] [-d D] [-g G] "
                      "[-s S] [-rank R -size P] [-o FILE]\n"
                      "       [-sink memory|count|stats|file] [-pes P] "
-                     "[-chunks-per-pe K] [-chunks C]\n",
+                     "[-chunks-per-pe K] [-chunks C]\n"
+                     "       [-edge-semantics as_generated|exact_once]\n",
                      argv[0]);
         return 2;
     }
@@ -185,6 +191,13 @@ int main(int argc, char** argv) {
         else if (flag == "-pes") pes = std::strtoull(val, nullptr, 10);
         else if (flag == "-chunks-per-pe") cfg.chunks_per_pe = std::strtoull(val, nullptr, 10);
         else if (flag == "-chunks") cfg.total_chunks = std::strtoull(val, nullptr, 10);
+        else if (flag == "-edge-semantics") {
+            if (!parse_semantics(val, &cfg.edge_semantics)) {
+                std::fprintf(stderr,
+                             "unknown semantics '%s' (as_generated|exact_once)\n", val);
+                return 2;
+            }
+        }
         else {
             std::fprintf(stderr, "unknown flag '%s'\n", flag.c_str());
             return 2;

@@ -23,6 +23,7 @@
 #include <algorithm>
 #include <cmath>
 #include <numbers>
+#include <utility>
 #include <vector>
 
 #include "common/types.hpp"
@@ -154,6 +155,15 @@ public:
 
     /// Number of points of annulus `a` inside chunk `chunk` — O(log P).
     u64 chunk_count(u32 a, u64 chunk) const { return descend(a, chunk).count; }
+
+    /// Global id range [lo, hi) of annulus `a`'s points inside `chunk`
+    /// (ids are assigned annulus-major, chunk-minor) — O(log P), one
+    /// descend. Bit-identical on every PE, like all grid queries.
+    std::pair<u64, u64> chunk_id_range(u32 a, u64 chunk) const {
+        const Node node = descend(a, chunk);
+        const u64 lo    = annulus_first_id(a) + node.prefix;
+        return {lo, lo + node.count};
+    }
 
     /// The chunk's points, sorted by angle, with their global ids.
     /// Bit-identical on every PE.

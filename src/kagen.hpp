@@ -11,8 +11,11 @@
 ///   auto result = kagen::generate(cfg, rank, size);   // this PE's edges
 /// \endcode
 ///
-/// Usage (streaming — no edge list is ever held in memory):
+/// Usage (streaming — no edge list is ever held in memory; exact_once
+/// suppresses the incident-edge models' intentional cross-chunk duplicate
+/// emissions, so the sink sees every edge of the graph exactly once):
 /// \code
+///   cfg.edge_semantics = kagen::EdgeSemantics::exact_once;
 ///   kagen::DegreeStatsSink sink(kagen::num_vertices(cfg));
 ///   kagen::generate_chunked(cfg, /*num_pes=*/8, sink); // whole graph
 ///   sink.finish();
@@ -43,6 +46,7 @@
 #include "rgg/rgg.hpp"
 #include "rhg/rhg.hpp"
 #include "rmat/rmat.hpp"
+#include "sink/ownership.hpp"
 #include "sink/sinks.hpp"
 
 namespace kagen {
@@ -78,6 +82,17 @@ struct Config {
     u64 chunks_per_pe = 1; ///< K: logical chunks scheduled per PE
     u64 total_chunks  = 0; ///< canonical chunk count; 0 = K·P. Pinning this
                            ///< makes the graph independent of P and K.
+
+    /// Edge-stream semantics (sink/ownership.hpp). `as_generated` keeps the
+    /// paper's per-chunk redundancy: the incident-edge models (undirected
+    /// ER/Gnp, RGG, RDG, in-memory RHG) emit every cross-chunk edge on both
+    /// owning chunks. `exact_once` filters each chunk's stream to the edges
+    /// whose canonical lower endpoint the chunk owns, so across all chunks
+    /// every edge appears exactly once — with zero communication, and
+    /// bit-deterministically for every (P, K, threads) combination once
+    /// `total_chunks` is pinned. Models without intentional duplicates are
+    /// byte-identical under both settings.
+    EdgeSemantics edge_semantics = EdgeSemantics::as_generated;
 };
 
 struct Result {
@@ -117,12 +132,63 @@ inline u64 num_vertices(const Config& cfg) {
     return ceil_pow2(cfg.n);
 }
 
-/// Streams the edges PE `rank` of `size` is responsible for into `sink`
-/// (flushed, not finished — the caller owns the sink lifecycle).
-inline void generate(const Config& cfg, u64 rank, u64 size, EdgeSink& sink) {
-    if (size == 0 || rank >= size) {
-        throw std::invalid_argument("kagen::generate: rank/size out of range");
+/// Whether the model's per-chunk output carries the paper's intentional
+/// cross-chunk duplicate edges (the §4.2/§5.1 redundancy trick): every edge
+/// crossing a chunk boundary is recomputed — identically — by both owning
+/// chunks. These are exactly the models `EdgeSemantics::exact_once`
+/// filters; the rest (directed ER/Gnp, both RHG-streaming and the
+/// partition-output BA/R-MAT) already emit globally disjoint streams and
+/// pass through unfiltered, byte-identically.
+inline bool carries_duplicates(Model model) {
+    switch (model) {
+        case Model::GnmUndirected:
+        case Model::GnpUndirected:
+        case Model::Rgg2D:
+        case Model::Rgg3D:
+        case Model::Rdg2D:
+        case Model::Rdg3D:
+        case Model::Rhg:
+            return true;
+        case Model::GnmDirected:
+        case Model::GnpDirected:
+        case Model::RhgStreaming:
+        case Model::Ba:
+        case Model::Rmat:
+            return false;
     }
+    return false;
+}
+
+/// Vertex-id intervals chunk `rank` of `size` owns under `cfg`'s model —
+/// the tie-break table of the exact-once filter (sink/ownership.hpp),
+/// dispatched to the per-model builders. Empty for models without
+/// intentional duplicates (nothing to filter).
+inline IdIntervals owned_vertex_intervals(const Config& cfg, u64 rank, u64 size) {
+    switch (cfg.model) {
+        case Model::GnmUndirected:
+        case Model::GnpUndirected:
+            return er::owned_vertex_range(cfg.n, rank, size);
+        case Model::Rgg2D:
+            return rgg::owned_vertex_range<2>({cfg.n, cfg.r, cfg.seed}, rank, size);
+        case Model::Rgg3D:
+            return rgg::owned_vertex_range<3>({cfg.n, cfg.r, cfg.seed}, rank, size);
+        case Model::Rdg2D:
+            return rdg::owned_vertex_range<2>({cfg.n, cfg.seed}, rank, size);
+        case Model::Rdg3D:
+            return rdg::owned_vertex_range<3>({cfg.n, cfg.seed}, rank, size);
+        case Model::Rhg:
+            return rhg::owned_vertex_intervals(
+                {cfg.n, cfg.avg_deg, cfg.gamma, cfg.seed}, rank, size);
+        default:
+            return {};
+    }
+}
+
+namespace detail {
+
+/// The raw per-model dispatch: streams chunk `rank` of `size` exactly as
+/// the paper's generators produce it (as-generated semantics).
+inline void dispatch_generate(const Config& cfg, u64 rank, u64 size, EdgeSink& sink) {
     switch (cfg.model) {
         case Model::GnmDirected:
             er::gnm_directed(cfg.n, cfg.m, cfg.seed, rank, size, sink);
@@ -170,6 +236,28 @@ inline void generate(const Config& cfg, u64 rank, u64 size, EdgeSink& sink) {
     }
 }
 
+} // namespace detail
+
+/// Streams the edges PE `rank` of `size` is responsible for into `sink`
+/// (flushed, not finished — the caller owns the sink lifecycle). Under
+/// `cfg.edge_semantics == exact_once` the duplicate-carrying models are
+/// wrapped in a per-chunk `OwnershipFilterSink`, so the streams of all
+/// ranks are globally disjoint and their union is the graph — each rank
+/// still a pure function of (cfg, rank, size), no communication.
+inline void generate(const Config& cfg, u64 rank, u64 size, EdgeSink& sink) {
+    if (size == 0 || rank >= size) {
+        throw std::invalid_argument("kagen::generate: rank/size out of range");
+    }
+    if (cfg.edge_semantics == EdgeSemantics::exact_once &&
+        carries_duplicates(cfg.model)) {
+        OwnershipFilterSink filter(owned_vertex_intervals(cfg, rank, size), sink);
+        detail::dispatch_generate(cfg, rank, size, filter);
+        filter.finish(); // drains the filter and flushes `sink`; no more
+        return;          // (the target sink's finish() stays with the caller)
+    }
+    detail::dispatch_generate(cfg, rank, size, sink);
+}
+
 /// Generates the edges PE `rank` of `size` is responsible for.
 inline Result generate(const Config& cfg, u64 rank, u64 size) {
     Result out;
@@ -194,9 +282,13 @@ struct ChunkStats {
 /// role of the per-PE API, so the edge stream equals the concatenation of
 /// generate(cfg, c, C) for c = 0..C-1 — bit-identical for every thread
 /// count, and for every (P, K) combination once total_chunks is pinned.
-/// Models whose per-PE output carries intentional cross-PE duplicates
-/// (undirected ER/Gnp, Rgg, Rdg, Rhg) keep them here chunk-for-chunk.
-/// The caller owns sink.finish().
+/// Under the default `as_generated` semantics, models whose per-PE output
+/// carries intentional cross-PE duplicates (undirected ER/Gnp, Rgg, Rdg,
+/// in-memory Rhg) keep them here chunk-for-chunk; with
+/// `cfg.edge_semantics = exact_once` each chunk's stream is
+/// ownership-filtered so the whole run emits every edge exactly once —
+/// counting/stats/file sinks then see the true graph with no post-hoc
+/// dedup pass. The caller owns sink.finish().
 inline ChunkStats generate_chunked(const Config& cfg, u64 num_pes, EdgeSink& sink,
                                    u64 threads = 0, pe::ThreadPool* pool = nullptr) {
     if (num_pes == 0) {

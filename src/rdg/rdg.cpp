@@ -245,17 +245,21 @@ PointGrid<D> point_grid(const Params& params, u64 size) {
 }
 
 template <int D>
+IdIntervals owned_vertex_range(const Params& params, u64 rank, u64 size) {
+    if (params.n == 0) return {{0, 0}};
+    const PointGrid<D> grid       = point_grid<D>(params, size);
+    const auto [cell_lo, cell_hi] = rgg::cell_range<D>(grid.levels(), rank, size);
+    return {{grid.first_id(cell_lo), grid.first_id(cell_hi)}};
+}
+
+template <int D>
 void generate(const Params& params, u64 rank, u64 size, EdgeSink& sink) {
     if (params.n == 0) {
         sink.flush();
         return;
     }
-    const PointGrid<D> grid = point_grid<D>(params, size);
-    const u32 b             = rgg::chunk_levels<D>(size);
-    const u32 shift         = (grid.levels() - b) * D;
-    const u64 num_chunks    = u64{1} << (static_cast<u64>(b) * D);
-    const u64 cell_lo       = block_begin(num_chunks, size, rank) << shift;
-    const u64 cell_hi       = block_begin(num_chunks, size, rank + 1) << shift;
+    const PointGrid<D> grid       = point_grid<D>(params, size);
+    const auto [cell_lo, cell_hi] = rgg::cell_range<D>(grid.levels(), rank, size);
     HaloTriangulator<D> tri(grid, cell_lo, cell_hi);
     // The incremental triangulation must converge before any edge is final,
     // so the PE's edges stream out after the (local) halo fixpoint.
@@ -326,6 +330,8 @@ template u32 cell_levels<2>(u64, u64);
 template u32 cell_levels<3>(u64, u64);
 template PointGrid<2> point_grid<2>(const Params&, u64);
 template PointGrid<3> point_grid<3>(const Params&, u64);
+template IdIntervals owned_vertex_range<2>(const Params&, u64, u64);
+template IdIntervals owned_vertex_range<3>(const Params&, u64, u64);
 template void generate<2>(const Params&, u64, u64, EdgeSink&);
 template void generate<3>(const Params&, u64, u64, EdgeSink&);
 template EdgeList generate<2>(const Params&, u64, u64);

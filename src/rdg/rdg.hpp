@@ -20,6 +20,7 @@
 #include "geometry/point_grid.hpp"
 #include "graph/edge_list.hpp"
 #include "sink/edge_sink.hpp"
+#include "sink/ownership.hpp"
 
 namespace kagen::rdg {
 
@@ -36,6 +37,14 @@ u32 cell_levels(u64 n, u64 size);
 /// reference triangulation).
 template <int D>
 PointGrid<D> point_grid(const Params& params, u64 size);
+
+/// Exact-once ownership (sink/ownership.hpp): identical scheme to
+/// `rgg::owned_vertex_range` — PE `rank`'s Morton cell block owns one
+/// consecutive id interval; the §6 halo guarantee ensures both endpoint
+/// owners of every Delaunay edge emit it, so the lower-endpoint tie-break
+/// keeps exactly one copy.
+template <int D>
+IdIntervals owned_vertex_range(const Params& params, u64 rank, u64 size);
 
 /// Delaunay edges incident to PE `rank`'s vertices, canonical (min,max) ids,
 /// deduplicated within the PE. Cross-PE edges appear on both owners.

@@ -49,17 +49,32 @@ PointGrid<D> point_grid(const Params& params, u64 size) {
 }
 
 template <int D>
+std::pair<u64, u64> cell_range(u32 levels, u64 rank, u64 size) {
+    const u32 b          = chunk_levels<D>(size);
+    const u32 shift      = (levels - b) * D; // cells per chunk = 2^shift
+    const u64 num_chunks = u64{1} << (static_cast<u64>(b) * D);
+    return {block_begin(num_chunks, size, rank) << shift,
+            block_begin(num_chunks, size, rank + 1) << shift};
+}
+
+template <int D>
+IdIntervals owned_vertex_range(const Params& params, u64 rank, u64 size) {
+    const PointGrid<D> grid        = point_grid<D>(params, size);
+    const auto [cell_lo, cell_hi]  = cell_range<D>(grid.levels(), rank, size);
+    return {{grid.first_id(cell_lo), grid.first_id(cell_hi)}};
+}
+
+template <int D>
 void generate(const Params& params, u64 rank, u64 size, EdgeSink& sink) {
-    const PointGrid<D> grid = point_grid<D>(params, size);
-    const u32 b             = chunk_levels<D>(size);
-    const u32 l             = grid.levels();
-    const u32 shift         = (l - b) * D;           // cells per chunk = 2^shift
-    const u64 num_chunks    = u64{1} << (static_cast<u64>(b) * D);
-    const u64 chunk_lo      = block_begin(num_chunks, size, rank);
-    const u64 chunk_hi      = block_begin(num_chunks, size, rank + 1);
-    const u64 cell_lo       = chunk_lo << shift;
-    const u64 cell_hi       = chunk_hi << shift;
-    const double r_sq       = params.r * params.r;
+    const PointGrid<D> grid       = point_grid<D>(params, size);
+    const u32 b                   = chunk_levels<D>(size);
+    const u32 l                   = grid.levels();
+    const u32 shift               = (l - b) * D; // cells per chunk = 2^shift
+    const u64 num_chunks          = u64{1} << (static_cast<u64>(b) * D);
+    const u64 chunk_lo            = block_begin(num_chunks, size, rank);
+    const u64 chunk_hi            = block_begin(num_chunks, size, rank + 1);
+    const auto [cell_lo, cell_hi] = cell_range<D>(l, rank, size);
+    const double r_sq             = params.r * params.r;
     const u64 per_dim       = grid.cells_per_dim();
     // Halo width in cells: 1 when the cell side is >= r, wider otherwise.
     const auto halo = static_cast<i64>(
@@ -187,6 +202,10 @@ template u32 cell_levels<2>(u64, double, u64);
 template u32 cell_levels<3>(u64, double, u64);
 template PointGrid<2> point_grid<2>(const Params&, u64);
 template PointGrid<3> point_grid<3>(const Params&, u64);
+template std::pair<u64, u64> cell_range<2>(u32, u64, u64);
+template std::pair<u64, u64> cell_range<3>(u32, u64, u64);
+template IdIntervals owned_vertex_range<2>(const Params&, u64, u64);
+template IdIntervals owned_vertex_range<3>(const Params&, u64, u64);
 template void generate<2>(const Params&, u64, u64, EdgeSink&);
 template void generate<3>(const Params&, u64, u64, EdgeSink&);
 template EdgeList generate<2>(const Params&, u64, u64);

@@ -12,10 +12,13 @@
 /// emitted; edges crossing a PE boundary therefore appear on both owners.
 #pragma once
 
+#include <utility>
+
 #include "common/types.hpp"
 #include "geometry/point_grid.hpp"
 #include "graph/edge_list.hpp"
 #include "sink/edge_sink.hpp"
+#include "sink/ownership.hpp"
 
 namespace kagen::rgg {
 
@@ -38,6 +41,20 @@ u32 cell_levels(u64 n, double r, u64 size);
 /// and the naive baseline can build the exact reference graph.
 template <int D>
 PointGrid<D> point_grid(const Params& params, u64 size);
+
+/// Morton cell range [lo, hi) of PE `rank` in a grid with `levels` cell
+/// levels shared by `size` PEs: the PE's contiguous chunk block, widened to
+/// cell resolution. Shared by the RGG and RDG generators and the ownership
+/// layer, so all three agree on the decomposition by construction.
+template <int D>
+std::pair<u64, u64> cell_range(u32 levels, u64 rank, u64 size);
+
+/// Exact-once ownership (sink/ownership.hpp): vertex ids follow Morton cell
+/// order, so PE `rank`'s contiguous cell block owns one consecutive id
+/// interval — the Morton-rank tie-break of DESIGN.md §6 reduces to an
+/// interval test on the edge's lower endpoint.
+template <int D>
+IdIntervals owned_vertex_range(const Params& params, u64 rank, u64 size);
 
 /// Edges of PE `rank`: all edges incident to vertices of its chunks.
 /// Canonical (min-id, max-id) orientation; each edge appears once per PE.

@@ -69,6 +69,19 @@ void for_candidates(ChunkCache& cache, const hyp::HypGrid& grid, u32 a, double c
 
 } // namespace
 
+IdIntervals owned_vertex_intervals(const hyp::Params& params, u64 rank, u64 size) {
+    const hyp::HypGrid grid(params, size);
+    IdIntervals owned;
+    owned.reserve(grid.num_annuli());
+    for (u32 a = 0; a < grid.num_annuli(); ++a) {
+        const auto [lo, hi] = grid.chunk_id_range(a, rank);
+        if (lo < hi) owned.push_back({lo, hi});
+    }
+    // Annulus-major id assignment makes the per-annulus intervals already
+    // sorted and disjoint — the owns_vertex contract.
+    return owned;
+}
+
 u32 first_streaming_annulus(const hyp::HypGrid& grid) {
     const auto& space  = grid.space();
     const double limit = grid.chunk_width() / 2.0; // requests must fit a chunk

@@ -25,6 +25,7 @@
 #include "graph/edge_list.hpp"
 #include "hyperbolic/hyperbolic.hpp"
 #include "sink/edge_sink.hpp"
+#include "sink/ownership.hpp"
 
 namespace kagen::rhg {
 
@@ -40,6 +41,14 @@ EdgeList generate_streaming(const hyp::Params& params, u64 rank, u64 size);
 
 /// Theta(n^2) all-pairs reference over the same point set.
 EdgeList brute_force(const hyp::Params& params, u64 size);
+
+/// Exact-once ownership for the *in-memory* generator (sink/ownership.hpp):
+/// ids are assigned annulus-major, so angular chunk `rank` owns one id
+/// interval per annulus — O(log n) intervals, each an O(log P) grid query.
+/// The streaming generator needs no filter: its request-execution rules
+/// already hand every edge to exactly one PE (its per-PE outputs are
+/// globally disjoint), which `tests/test_exact_once.cpp` asserts.
+IdIntervals owned_vertex_intervals(const hyp::Params& params, u64 rank, u64 size);
 
 /// First streaming annulus index for `size` PEs (test/bench introspection);
 /// annuli below it are "global" (§7.2).

@@ -22,9 +22,11 @@
 
 #include <vector>
 
+#include "common/math.hpp"
 #include "common/types.hpp"
 #include "graph/edge_list.hpp"
 #include "sink/edge_sink.hpp"
+#include "sink/ownership.hpp"
 
 namespace kagen::sbm {
 
@@ -50,5 +52,14 @@ Params planted_partition(u64 n, u64 blocks, double p_in, double p_out, u64 seed)
 /// a MemorySink (bit-identical output).
 void generate(const Params& params, u64 rank, u64 size, EdgeSink& sink);
 EdgeList generate(const Params& params, u64 rank, u64 size);
+
+/// Exact-once ownership (sink/ownership.hpp): identical to
+/// `er::owned_vertex_range` — the SBM shares the undirected G(n,p) chunk
+/// geometry, so wrapping a rank's sink in an `OwnershipFilterSink` over
+/// this range yields globally duplicate-free streams.
+inline IdIntervals owned_vertex_range(const Params& params, u64 rank, u64 size) {
+    const u64 n = num_vertices(params);
+    return {{block_begin(n, size, rank), block_begin(n, size, rank + 1)}};
+}
 
 } // namespace kagen::sbm

@@ -5,6 +5,12 @@
 
 namespace kagen {
 
+std::string CountingSink::summary() const {
+    return "edges[" + std::string(semantics_name(semantics_)) +
+           "]=" + std::to_string(num_edges_) +
+           " self_loops=" + std::to_string(num_self_loops_);
+}
+
 void CountingSink::consume(const Edge* edges, std::size_t count) {
     u64 loops = 0;
     for (std::size_t i = 0; i < count; ++i) {
@@ -13,6 +19,14 @@ void CountingSink::consume(const Edge* edges, std::size_t count) {
     std::lock_guard<std::mutex> lock(mutex_);
     num_edges_ += count;
     num_self_loops_ += loops;
+}
+
+std::string DegreeStatsSink::summary() const {
+    char avg[32];
+    std::snprintf(avg, sizeof(avg), "%.4f", average_degree());
+    return "edges[" + std::string(semantics_name(semantics_)) +
+           "]=" + std::to_string(num_edges_) + " avg_deg=" + avg +
+           " max_deg=" + std::to_string(max_degree());
 }
 
 void DegreeStatsSink::consume(const Edge* edges, std::size_t count) {

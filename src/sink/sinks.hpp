@@ -10,6 +10,7 @@
 
 #include "common/types.hpp"
 #include "sink/edge_sink.hpp"
+#include "sink/ownership.hpp"
 
 namespace kagen {
 
@@ -43,17 +44,34 @@ private:
 
 /// Counts edges (and self-loops) without storing anything. Accepts
 /// concurrent delivery from the chunked engine.
+///
+/// The count is of *emissions*: under `EdgeSemantics::as_generated` the
+/// incident-edge models deliver their intentional cross-chunk duplicates,
+/// so `num_edges()` over-counts the graph by the duplicated boundary edges;
+/// under `exact_once` it equals the true undirected edge count. Tag the
+/// sink with the semantics it is fed (constructor or `set_semantics`) so
+/// `summary()` and downstream reports state what the total means.
 class CountingSink final : public EdgeSink {
 public:
+    explicit CountingSink(EdgeSemantics semantics = EdgeSemantics::as_generated)
+        : semantics_(semantics) {}
+
     u64 num_edges() const { return num_edges_; }
     u64 num_self_loops() const { return num_self_loops_; }
     bool ordered() const override { return false; }
 
-protected:
-    void consume(const Edge* edges, std::size_t count) override;
+    EdgeSemantics semantics() const { return semantics_; }
+    void set_semantics(EdgeSemantics semantics) { semantics_ = semantics; }
+
+    /// One-line report whose totals are explicitly labelled with the
+    /// semantics of the stream they were computed from.
+    std::string summary() const;
 
 private:
+    void consume(const Edge* edges, std::size_t count) override;
+
     std::mutex mutex_;
+    EdgeSemantics semantics_;
     u64 num_edges_      = 0;
     u64 num_self_loops_ = 0;
 };
@@ -61,9 +79,19 @@ private:
 /// Streams per-vertex degree counts (both endpoints of every emitted edge,
 /// matching kagen::degrees on the materialized list) without storing edges.
 /// Memory: O(n), independent of the edge count. Accepts concurrent delivery.
+///
+/// Degrees count *emissions*, so an `as_generated` stream from a
+/// duplicate-carrying model inflates the degrees of chunk-boundary
+/// vertices (each duplicated edge contributes twice); only an `exact_once`
+/// stream yields the true degree sequence of the graph. The sink carries
+/// the semantics it was fed (constructor or `set_semantics`), and
+/// `summary()` labels its totals with it, so a reader can no longer
+/// mistake redundancy-inflated statistics for graph statistics.
 class DegreeStatsSink final : public EdgeSink {
 public:
-    explicit DegreeStatsSink(u64 n) : degrees_(n, 0) {}
+    explicit DegreeStatsSink(u64 n,
+                             EdgeSemantics semantics = EdgeSemantics::as_generated)
+        : semantics_(semantics), degrees_(n, 0) {}
 
     u64 num_edges() const { return num_edges_; }
     const std::vector<u64>& degrees() const { return degrees_; }
@@ -76,11 +104,18 @@ public:
 
     bool ordered() const override { return false; }
 
+    EdgeSemantics semantics() const { return semantics_; }
+    void set_semantics(EdgeSemantics semantics) { semantics_ = semantics; }
+
+    /// One-line report; totals are labelled with the stream semantics.
+    std::string summary() const;
+
 protected:
     void consume(const Edge* edges, std::size_t count) override;
 
 private:
     std::mutex mutex_;
+    EdgeSemantics semantics_;
     std::vector<u64> degrees_;
     u64 num_edges_ = 0;
 };

@@ -1,14 +1,52 @@
 /// \file testing.hpp
-/// \brief Shared statistical helpers for the test suite.
+/// \brief Shared statistical and edge-semantics helpers for the test suite.
 #pragma once
+
+#include <gtest/gtest.h>
 
 #include <cmath>
 #include <map>
 #include <vector>
 
 #include "common/types.hpp"
+#include "graph/edge_list.hpp"
 
 namespace kagen::testing {
+
+/// Redundant emissions in the concatenated per-chunk streams beyond the
+/// canonical undirected edge set — i.e. how many duplicate copies the
+/// paper's §4.2/§5.1 recomputation trick produced. 0 iff the streams are
+/// globally exact-once. (Undirected canonicalization is applied, so use
+/// this on undirected models only.)
+inline u64 duplicate_excess(const std::vector<EdgeList>& per_chunk) {
+    u64 total = 0;
+    EdgeList all;
+    for (const auto& part : per_chunk) {
+        total += part.size();
+        append(all, part);
+    }
+    return total - undirected_set(std::move(all)).size();
+}
+
+/// `expected_duplicates`-style assertion: a streamed emission total must be
+/// the canonical edge count plus exactly the expected duplicate copies —
+/// `expected_duplicates == 0` is the exact-once contract, and
+/// `expected_duplicates == duplicate_excess(per_chunk)` pins as-generated
+/// streams to the legacy per-chunk outputs.
+inline ::testing::AssertionResult total_matches_semantics(u64 streamed_total,
+                                                          u64 canonical_edges,
+                                                          u64 expected_duplicates) {
+    if (streamed_total == canonical_edges + expected_duplicates) {
+        return ::testing::AssertionSuccess();
+    }
+    return ::testing::AssertionFailure()
+           << "streamed total " << streamed_total << " != canonical "
+           << canonical_edges << " + expected duplicates " << expected_duplicates
+           << " (off by "
+           << (static_cast<i64>(streamed_total) -
+               static_cast<i64>(canonical_edges + expected_duplicates))
+           << ")";
+}
 
 /// Pearson chi-square statistic over observed vs expected counts.
 inline double chi_square(const std::vector<double>& observed,
