@@ -9,7 +9,8 @@
 //    sink — so huge instances can be counted, measured, or written to disk
 //    without materializing the edge list (count/stats sinks stream with
 //    O(buffer) memory; the ordered file sink holds completed-but-not-yet-
-//    delivered chunks, worst case bounded by chunk skew — see DESIGN.md §5).
+//    delivered chunks in a byte-budgeted window, spilling past it — see
+//    -max-buffered-bytes and DESIGN.md §5).
 //
 // Usage:
 //   ./example_kagen_tool <model> [options]
@@ -37,11 +38,22 @@
 //               emitted exactly once — counts, degree stats, and files then
 //               describe the true graph with no post-hoc dedup. Applies to
 //               both the per-PE and the -sink paths.
+//   -max-buffered-bytes B   ordered-delivery byte budget: chunks completing
+//               ahead of the delivery cursor hold at most B resident bytes;
+//               beyond that they spill to disk and replay in order. Output
+//               is byte-identical to the unbounded run; peak memory is
+//               B + one chunk. 0 (default) = unbounded.
+//   -spill-path FILE   spill scratch location (default: anonymous $TMPDIR)
+//   -dedup-out FILE    after -sink file: external-memory sort/dedup pass to
+//               FILE — the canonical undirected edge set (union_undirected)
+//               at bounded memory, so deduped output works past RAM
+//   -sort-memory BYTES memory budget of the dedup sort (default 64 MiB)
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <string>
 
+#include "graph/em_sort.hpp"
 #include "graph/io.hpp"
 #include "kagen.hpp"
 
@@ -62,7 +74,8 @@ Model parse_model(const std::string& name) {
 }
 
 int run_chunked_sink(const Config& cfg, const std::string& kind, u64 pes,
-                     const char* out_path) {
+                     const char* out_path, const char* dedup_out,
+                     u64 sort_memory) {
     const u64 n = num_vertices(cfg);
     if (kind == "count") {
         CountingSink sink(cfg.edge_semantics);
@@ -103,11 +116,27 @@ int run_chunked_sink(const Config& cfg, const std::string& kind, u64 pes,
         const ChunkStats stats = generate_chunked(cfg, pes, sink);
         sink.finish();
         std::printf("model=%s n=%llu edges[%s]=%llu -> %s (binary) chunks=%llu "
-                    "seconds=%.6f\n",
+                    "seconds=%.6f peak_buffered_bytes=%llu spilled_chunks=%llu "
+                    "spilled_bytes=%llu\n",
                     model_name(cfg.model), static_cast<unsigned long long>(n),
                     semantics_name(cfg.edge_semantics),
                     static_cast<unsigned long long>(sink.num_edges()), out_path,
-                    static_cast<unsigned long long>(stats.num_chunks), stats.seconds);
+                    static_cast<unsigned long long>(stats.num_chunks), stats.seconds,
+                    static_cast<unsigned long long>(stats.peak_buffered_bytes),
+                    static_cast<unsigned long long>(stats.spilled_chunks),
+                    static_cast<unsigned long long>(stats.spilled_bytes));
+        if (dedup_out != nullptr) {
+            // External-memory dedup: canonical undirected edge set of the
+            // file just written, at bounded memory — union_undirected for
+            // graphs that never fit in RAM.
+            const em::SortStats sorted =
+                em::sort_dedup_file(out_path, dedup_out, sort_memory);
+            std::printf("dedup -> %s unique_edges=%llu runs=%llu "
+                        "sort_memory_bytes=%llu\n",
+                        dedup_out, static_cast<unsigned long long>(sorted.output_edges),
+                        static_cast<unsigned long long>(sorted.runs),
+                        static_cast<unsigned long long>(sort_memory));
+        }
         return 0;
     }
     if (kind == "memory") {
@@ -161,7 +190,9 @@ int main(int argc, char** argv) {
                      "[-s S] [-rank R -size P] [-o FILE]\n"
                      "       [-sink memory|count|stats|file] [-pes P] "
                      "[-chunks-per-pe K] [-chunks C]\n"
-                     "       [-edge-semantics as_generated|exact_once]\n",
+                     "       [-edge-semantics as_generated|exact_once] "
+                     "[-max-buffered-bytes B] [-spill-path FILE]\n"
+                     "       [-dedup-out FILE] [-sort-memory BYTES]\n",
                      argv[0]);
         return 2;
     }
@@ -170,7 +201,9 @@ int main(int argc, char** argv) {
     cfg.n             = 1024;
     cfg.chunks_per_pe = 4;
     u64 rank = 0, size = 1, pes = 4;
-    const char* out_path = nullptr;
+    u64 sort_memory       = u64{64} << 20; // 64 MiB unless -sort-memory
+    const char* out_path  = nullptr;
+    const char* dedup_out = nullptr;
     std::string sink_kind;
     bool m_set = false;
     for (int i = 2; i + 1 < argc; i += 2) {
@@ -191,6 +224,11 @@ int main(int argc, char** argv) {
         else if (flag == "-pes") pes = std::strtoull(val, nullptr, 10);
         else if (flag == "-chunks-per-pe") cfg.chunks_per_pe = std::strtoull(val, nullptr, 10);
         else if (flag == "-chunks") cfg.total_chunks = std::strtoull(val, nullptr, 10);
+        else if (flag == "-max-buffered-bytes")
+            cfg.max_buffered_bytes = std::strtoull(val, nullptr, 10);
+        else if (flag == "-spill-path") cfg.spill_path = val;
+        else if (flag == "-dedup-out") dedup_out = val;
+        else if (flag == "-sort-memory") sort_memory = std::strtoull(val, nullptr, 10);
         else if (flag == "-edge-semantics") {
             if (!parse_semantics(val, &cfg.edge_semantics)) {
                 std::fprintf(stderr,
@@ -210,9 +248,17 @@ int main(int argc, char** argv) {
                                 static_cast<double>(cfg.n));
     }
 
+    if (dedup_out != nullptr && sink_kind != "file") {
+        // Silently ignoring the flag would leave scripts failing later on a
+        // missing dedup file with no hint why — also on the per-PE path.
+        std::fprintf(stderr, "-dedup-out requires -sink file\n");
+        return 2;
+    }
+
     try {
         if (!sink_kind.empty()) {
-            return run_chunked_sink(cfg, sink_kind, pes, out_path);
+            return run_chunked_sink(cfg, sink_kind, pes, out_path, dedup_out,
+                                    sort_memory);
         }
         return run_per_pe(cfg, rank, size, out_path);
     } catch (const std::exception& e) {

@@ -1,0 +1,134 @@
+#include "graph/em_sort.hpp"
+
+#include <algorithm>
+#include <queue>
+#include <vector>
+
+#include "graph/edge_list.hpp"
+#include "graph/io.hpp"
+#include "sink/sinks.hpp"
+#include "sink/spill.hpp"
+
+namespace kagen::em {
+namespace {
+
+constexpr u64 kMergeBatch = 4096; ///< edges per merge read (64 KiB)
+
+/// Phase 1: accumulates the input stream into budget-sized blocks and parks
+/// each block as a sorted, deduplicated run in the scratch spill file.
+class RunFormationSink final : public EdgeSink {
+public:
+    RunFormationSink(spill::SpillFile& scratch, u64 run_edges, bool canonicalize)
+        : scratch_(scratch), run_edges_(run_edges), canonicalize_(canonicalize) {
+        block_.reserve(static_cast<std::size_t>(std::min<u64>(run_edges_, u64{1} << 16)));
+    }
+
+    void finish() override {
+        flush();
+        if (!block_.empty()) park();
+    }
+
+    const std::vector<spill::SpillFile::Segment>& runs() const { return runs_; }
+    u64 input_edges() const { return input_edges_; }
+
+protected:
+    void consume(const Edge* edges, std::size_t count) override {
+        input_edges_ += count;
+        for (std::size_t i = 0; i < count; ++i) {
+            block_.push_back(edges[i]);
+            if (block_.size() >= run_edges_) park();
+        }
+    }
+
+private:
+    void park() {
+        if (canonicalize_) kagen::canonicalize(block_);
+        sort_unique(block_);
+        runs_.push_back(scratch_.append(block_.data(), block_.size()));
+        block_.clear();
+    }
+
+    spill::SpillFile& scratch_;
+    const u64 run_edges_;
+    const bool canonicalize_;
+    EdgeList block_;
+    std::vector<spill::SpillFile::Segment> runs_;
+    u64 input_edges_ = 0;
+};
+
+/// Phase 2 helper: bounded sequential reader over one sorted run.
+struct RunCursor {
+    RunCursor(const spill::SpillFile& f, spill::SpillFile::Segment s)
+        : file(&f), seg(s) {}
+
+    bool next(Edge* e) {
+        if (pos == buf.size()) {
+            const u64 remaining = seg.count - fetched;
+            if (remaining == 0) return false;
+            buf.resize(static_cast<std::size_t>(std::min(kMergeBatch, remaining)));
+            file->read(seg, fetched, buf.data(), buf.size());
+            fetched += buf.size();
+            pos = 0;
+        }
+        *e = buf[pos++];
+        return true;
+    }
+
+    const spill::SpillFile* file;
+    spill::SpillFile::Segment seg;
+    std::vector<Edge> buf;
+    std::size_t pos = 0;
+    u64 fetched     = 0; ///< edges loaded into `buf` so far
+};
+
+} // namespace
+
+SortStats sort_dedup_file(const std::string& input_path,
+                          const std::string& output_path, u64 max_memory_bytes,
+                          bool canonicalize) {
+    spill::SpillFile scratch;
+    const u64 run_edges =
+        std::max<u64>(u64{1024}, max_memory_bytes / sizeof(Edge));
+    RunFormationSink former(scratch, run_edges, canonicalize);
+    io::stream_edge_list_binary(input_path, former);
+    former.finish();
+
+    SortStats stats;
+    stats.input_edges = former.input_edges();
+    stats.runs        = former.runs().size();
+
+    std::vector<RunCursor> cursors;
+    cursors.reserve(former.runs().size());
+    for (const auto& seg : former.runs()) cursors.emplace_back(scratch, seg);
+
+    // Min-heap over (head edge, run); runs are individually sorted and
+    // deduplicated, so dropping repeats of the last emitted edge yields the
+    // globally sorted unique sequence.
+    using HeapItem = std::pair<Edge, std::size_t>;
+    std::priority_queue<HeapItem, std::vector<HeapItem>, std::greater<HeapItem>>
+        heap;
+    for (std::size_t r = 0; r < cursors.size(); ++r) {
+        Edge e;
+        if (cursors[r].next(&e)) heap.emplace(e, r);
+    }
+
+    BinaryFileSink out(output_path);
+    Edge last{};
+    bool have_last = false;
+    while (!heap.empty()) {
+        const auto [e, r] = heap.top();
+        heap.pop();
+        if (!have_last || e != last) {
+            out.emit(e);
+            last      = e;
+            have_last = true;
+            ++stats.output_edges;
+        }
+        Edge next;
+        if (cursors[r].next(&next)) heap.emplace(next, r);
+    }
+    out.finish();
+    return stats;
+}
+
+} // namespace kagen::em

@@ -1,0 +1,46 @@
+/// \file em_sort.hpp
+/// \brief External-memory sort/dedup over binary edge-list files.
+///
+/// `union_undirected` (pe/pe.hpp) produces the canonical deduplicated edge
+/// set of a run by materializing every per-chunk list — impossible once the
+/// graph exceeds RAM. This pass computes the same result from a *file*
+/// produced by `BinaryFileSink`/`io::write_edge_list_binary`, with memory
+/// bounded by an explicit budget, via the textbook two-phase scheme:
+///
+/// 1. **Run formation** — stream the input in budget-sized blocks;
+///    canonicalize (optional), sort, dedup each block; park it as a sorted
+///    run in an anonymous `spill::SpillFile`.
+/// 2. **K-way merge** — merge-heap over one bounded read cursor per run,
+///    dropping cross-run duplicates, streamed straight into the output
+///    `BinaryFileSink`.
+///
+/// With `canonicalize = true` the output file is bit-identical to
+/// `io::write_edge_list_binary(pe::union_undirected(...))` over the same
+/// edge stream; with `false` it matches `pe::union_directed` (sort+dedup
+/// without endpoint swapping). So `as_generated` chunked file output plus
+/// this pass equals the in-memory union pipeline for graphs of any size.
+/// DESIGN.md §5 has the argument.
+#pragma once
+
+#include <string>
+
+#include "common/types.hpp"
+
+namespace kagen::em {
+
+struct SortStats {
+    u64 input_edges  = 0; ///< edges read from the input file
+    u64 output_edges = 0; ///< unique edges written to the output file
+    u64 runs         = 0; ///< sorted runs formed (1 = fit in budget)
+};
+
+/// Sorts and deduplicates the binary edge-list file `input_path` into
+/// `output_path` (same format), holding at most ~`max_memory_bytes` of
+/// edge data in RAM at once (minimum one merge batch per run).
+/// \param canonicalize orient each edge as (min, max) first — undirected
+///        set semantics; `false` keeps directed edges as stored.
+SortStats sort_dedup_file(const std::string& input_path,
+                          const std::string& output_path, u64 max_memory_bytes,
+                          bool canonicalize = true);
+
+} // namespace kagen::em

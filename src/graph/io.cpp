@@ -23,6 +23,34 @@ struct File {
     FILE* handle;
 };
 
+/// Reads the u64 edge-count header and validates it against the file size
+/// (8-byte header + 16 bytes per edge must fit in the file): a corrupt or
+/// truncated header (e.g. 0xFFFF...) must fail cleanly here, not drive a
+/// multi-exabyte `reserve` or a billion-iteration read loop downstream.
+u64 read_validated_edge_count(FILE* f, const std::string& path) {
+    u64 count = 0;
+    if (std::fread(&count, sizeof(count), 1, f) != 1) {
+        throw std::runtime_error("truncated binary edge list: " + path);
+    }
+    if (std::fseek(f, 0, SEEK_END) != 0) {
+        throw std::runtime_error("cannot seek in '" + path + "'");
+    }
+    // ftello, not ftell: long is 32-bit on some ABIs, and >2 GiB files are
+    // exactly the scale this format exists for.
+    const off_t end = ftello(f);
+    if (end < 0 || std::fseek(f, sizeof(count), SEEK_SET) != 0) {
+        throw std::runtime_error("cannot seek in '" + path + "'");
+    }
+    const u64 payload = static_cast<u64>(end) - sizeof(count);
+    if (count > payload / (2 * sizeof(u64))) {
+        throw std::runtime_error(
+            "corrupt binary edge list header: '" + path + "' claims " +
+            std::to_string(count) + " edges but holds only " +
+            std::to_string(payload) + " payload bytes");
+    }
+    return count;
+}
+
 } // namespace
 
 void write_edge_list(const std::string& path, const EdgeList& edges,
@@ -52,19 +80,27 @@ EdgeList read_edge_list(const std::string& path) {
 void write_edge_list_binary(const std::string& path, const EdgeList& edges) {
     File f(path, "wb");
     const u64 count = edges.size();
-    std::fwrite(&count, sizeof(count), 1, f.handle);
+    // Fail loudly on any short write (e.g. ENOSPC): the header claims all
+    // `count` edges, so a silently truncated file would read back as valid.
+    if (std::fwrite(&count, sizeof(count), 1, f.handle) != 1) {
+        throw std::runtime_error("cannot write header of '" + path + "'");
+    }
     for (const auto& [u, v] : edges) {
         const u64 pair[2] = {u, v};
-        std::fwrite(pair, sizeof(u64), 2, f.handle);
+        if (std::fwrite(pair, sizeof(u64), 2, f.handle) != 2) {
+            throw std::runtime_error("short write to '" + path + "'");
+        }
+    }
+    // fwrite only queues into the stdio buffer; ENOSPC commonly surfaces at
+    // flush time, which the File destructor's fclose would swallow.
+    if (std::fflush(f.handle) != 0) {
+        throw std::runtime_error("cannot flush '" + path + "'");
     }
 }
 
 EdgeList read_edge_list_binary(const std::string& path) {
     File f(path, "rb");
-    u64 count = 0;
-    if (std::fread(&count, sizeof(count), 1, f.handle) != 1) {
-        throw std::runtime_error("truncated binary edge list: " + path);
-    }
+    const u64 count = read_validated_edge_count(f.handle, path);
     EdgeList edges;
     edges.reserve(count);
     for (u64 i = 0; i < count; ++i) {
@@ -79,10 +115,7 @@ EdgeList read_edge_list_binary(const std::string& path) {
 
 u64 stream_edge_list_binary(const std::string& path, EdgeSink& sink) {
     File f(path, "rb");
-    u64 count = 0;
-    if (std::fread(&count, sizeof(count), 1, f.handle) != 1) {
-        throw std::runtime_error("truncated binary edge list: " + path);
-    }
+    const u64 count = read_validated_edge_count(f.handle, path);
     for (u64 i = 0; i < count; ++i) {
         u64 pair[2];
         if (std::fread(pair, sizeof(u64), 2, f.handle) != 2) {

@@ -83,6 +83,16 @@ struct Config {
     u64 total_chunks  = 0; ///< canonical chunk count; 0 = K·P. Pinning this
                            ///< makes the graph independent of P and K.
 
+    /// Byte budget for the ordered-delivery window (pe::ChunkOptions):
+    /// chunks completing ahead of the delivery cursor may hold at most this
+    /// many resident edge bytes before further out-of-window chunks spill
+    /// to disk and are replayed in canonical order. 0 = unbounded. Output
+    /// is byte-identical for every budget; only peak memory changes.
+    u64 max_buffered_bytes = 0;
+
+    /// Spill scratch location; empty = anonymous temp file under $TMPDIR.
+    std::string spill_path;
+
     /// Edge-stream semantics (sink/ownership.hpp). `as_generated` keeps the
     /// paper's per-chunk redundancy: the incident-edge models (undirected
     /// ER/Gnp, RGG, RDG, in-memory RHG) emit every cross-chunk edge on both
@@ -272,6 +282,11 @@ struct ChunkStats {
     u64 num_chunks = 0;   ///< canonical chunks executed
     u64 workers    = 0;   ///< parallel participants used
     double seconds = 0.0; ///< makespan of the generation phase
+
+    // Ordered-delivery accounting (zero for unordered sinks).
+    u64 peak_buffered_bytes = 0; ///< max resident chunk-buffer bytes
+    u64 spilled_chunks      = 0; ///< chunks parked on disk
+    u64 spilled_bytes       = 0; ///< edge bytes written to the spill file
 };
 
 /// Whole-graph chunked engine: runs every canonical chunk (total_chunks,
@@ -300,20 +315,25 @@ inline ChunkStats generate_chunked(const Config& cfg, u64 num_pes, EdgeSink& sin
     ChunkStats out;
     out.n = num_vertices(cfg); // validates the config before any chunk runs
     pe::ChunkOptions opt;
-    opt.num_pes       = num_pes;
-    opt.chunks_per_pe = cfg.chunks_per_pe;
-    opt.total_chunks  = cfg.total_chunks;
-    opt.threads       = threads;
-    opt.pool          = pool;
-    const auto stats  = pe::run_chunked(
+    opt.num_pes            = num_pes;
+    opt.chunks_per_pe      = cfg.chunks_per_pe;
+    opt.total_chunks       = cfg.total_chunks;
+    opt.threads            = threads;
+    opt.pool               = pool;
+    opt.max_buffered_bytes = cfg.max_buffered_bytes;
+    opt.spill_path         = cfg.spill_path;
+    const auto stats       = pe::run_chunked(
         opt,
         [&cfg](u64 chunk, u64 num_chunks, EdgeSink& chunk_sink) {
             generate(cfg, chunk, num_chunks, chunk_sink);
         },
         sink);
-    out.num_chunks = stats.num_chunks;
-    out.workers    = stats.workers;
-    out.seconds    = stats.seconds;
+    out.num_chunks          = stats.num_chunks;
+    out.workers             = stats.workers;
+    out.seconds             = stats.seconds;
+    out.peak_buffered_bytes = stats.peak_buffered_bytes;
+    out.spilled_chunks      = stats.spilled_chunks;
+    out.spilled_bytes       = stats.spilled_bytes;
     return out;
 }
 

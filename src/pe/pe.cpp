@@ -11,6 +11,7 @@
 
 #include "common/math.hpp"
 #include "sink/sinks.hpp"
+#include "sink/spill.hpp"
 
 namespace kagen::pe {
 namespace {
@@ -304,6 +305,143 @@ private:
     EdgeSink& target_;
 };
 
+/// Bounded-memory ordered delivery: completed chunks park (in RAM while the
+/// byte budget allows, on disk past it) until the cursor reaches them, and
+/// a single *designated drainer* streams the contiguous ready prefix into
+/// the sink. The bookkeeping mutex guards only the slot/cursor state —
+/// never sink or spill I/O — so one slow disk write no longer stalls every
+/// producer, and resident chunk-buffer bytes never exceed the budget plus
+/// the one chunk currently in flight to the sink.
+///
+/// Drainer protocol: whoever completes a chunk while `draining_` is false
+/// and the cursor slot is ready becomes the drainer; it re-acquires the
+/// lock between chunks, so chunks parked meanwhile are picked up in the
+/// same pass. `draining_` flips only under the lock, hence at most one
+/// drainer exists and sink delivery stays serialized and in canonical
+/// order — the output is byte-identical to a sequential run.
+class OrderedDelivery {
+public:
+    OrderedDelivery(u64 num_chunks, u64 max_buffered_bytes,
+                    const std::string& spill_path, EdgeSink& sink)
+        : slots_(num_chunks), budget_(max_buffered_bytes), sink_(sink) {
+        // The spill file is only ever touched in bounded mode; create it
+        // eagerly so producers never race on lazy construction.
+        if (budget_ != 0) {
+            spill_ = std::make_unique<spill::SpillFile>(spill_path);
+        }
+    }
+
+    /// Called by the producing worker when chunk `chunk` has finished
+    /// generating. Takes ownership of `edges`.
+    void complete(u64 chunk, EdgeList edges) {
+        const u64 bytes = edges.size() * sizeof(Edge);
+        std::unique_lock<std::mutex> lock(mutex_);
+        Slot& slot = slots_[chunk];
+        // After a sink failure the run is unwinding (parallel_for cancels
+        // pending tasks, the drainer's exception is propagating) — park
+        // in RAM without spill I/O and never re-enter the drain: the
+        // cursor slot was already consumed by the failed delivery.
+        const bool over_budget =
+            !failed_ && budget_ != 0 && resident_bytes_ + bytes > budget_;
+        // The cursor chunk is about to leave through the sink anyway; it is
+        // the "+ one chunk" allowance and never worth a disk round-trip.
+        const bool at_cursor = !draining_ && chunk == cursor_;
+        if (over_budget && !at_cursor && !edges.empty()) {
+            lock.unlock();
+            // Spill outside the bookkeeping lock: SpillFile::append only
+            // serializes the offset reservation, so concurrent spillers
+            // overlap their writes and non-spilling producers are untouched.
+            auto parked = std::make_unique<spill::SpillSink>(*spill_);
+            parked->deliver(edges.data(), edges.size());
+            parked->finish();
+            EdgeList().swap(edges); // release before re-locking
+            lock.lock();
+            slot.spilled = std::move(parked);
+            slot.state   = Slot::State::spilled;
+            ++spilled_chunks_;
+            spilled_bytes_ += bytes;
+        } else {
+            slot.edges = std::move(edges);
+            slot.state = Slot::State::buffered;
+            resident_bytes_ += bytes;
+            peak_buffered_bytes_ = std::max(peak_buffered_bytes_, resident_bytes_);
+        }
+        if (!draining_ && !failed_ && cursor_ < slots_.size() &&
+            slots_[cursor_].state != Slot::State::pending) {
+            drain(lock);
+        }
+    }
+
+    u64 delivered_chunks() const { return cursor_; }
+    u64 peak_buffered_bytes() const { return peak_buffered_bytes_; }
+    u64 spilled_chunks() const { return spilled_chunks_; }
+    u64 spilled_bytes() const { return spilled_bytes_; }
+
+private:
+    struct Slot {
+        enum class State : u8 { pending, buffered, spilled, delivered };
+        State state = State::pending;
+        EdgeList edges;                           ///< buffered payload
+        std::unique_ptr<spill::SpillSink> spilled; ///< spilled payload
+    };
+
+    /// Streams the contiguous ready prefix into the sink. Entered with the
+    /// lock held and `draining_` false; the lock is dropped around every
+    /// sink/spill I/O operation and re-taken for cursor bookkeeping.
+    void drain(std::unique_lock<std::mutex>& lock) {
+        draining_ = true;
+        while (cursor_ < slots_.size()) {
+            Slot& slot = slots_[cursor_];
+            if (slot.state == Slot::State::pending) break;
+            try {
+                if (slot.state == Slot::State::buffered) {
+                    EdgeList edges  = std::move(slot.edges);
+                    slot.state      = Slot::State::delivered;
+                    const u64 bytes = edges.size() * sizeof(Edge);
+                    lock.unlock();
+                    sink_.deliver(edges.data(), edges.size());
+                    EdgeList().swap(edges); // release before re-locking
+                    lock.lock();
+                    resident_bytes_ -= bytes;
+                } else {
+                    auto parked = std::move(slot.spilled);
+                    slot.state  = Slot::State::delivered;
+                    lock.unlock();
+                    parked->replay(sink_); // bounded batches off the disk
+                    lock.lock();
+                }
+            } catch (...) {
+                // A failing sink (e.g. ENOSPC in BinaryFileSink) must not
+                // leave a phantom drainer behind: producers would park
+                // forever and the error would surface as a hang instead of
+                // the thrown exception. `failed_` additionally keeps
+                // still-running producers from re-entering the drain on
+                // the cursor slot, whose payload this attempt already
+                // consumed.
+                if (!lock.owns_lock()) lock.lock();
+                draining_ = false;
+                failed_   = true;
+                throw;
+            }
+            ++cursor_;
+        }
+        draining_ = false;
+    }
+
+    std::mutex mutex_;
+    std::vector<Slot> slots_;
+    u64 cursor_    = 0;     ///< next chunk owed to the sink
+    bool draining_ = false; ///< a designated drainer is active
+    bool failed_   = false; ///< a delivery threw; no further draining
+    const u64 budget_;      ///< resident-byte budget; 0 = unbounded
+    u64 resident_bytes_ = 0; ///< parked-in-RAM + in-flight-to-sink bytes
+    u64 peak_buffered_bytes_ = 0;
+    u64 spilled_chunks_ = 0;
+    u64 spilled_bytes_  = 0;
+    std::unique_ptr<spill::SpillFile> spill_;
+    EdgeSink& sink_;
+};
+
 } // namespace
 
 ChunkRunStats run_chunked(const ChunkOptions& opt, const ChunkFn& fn, EdgeSink& sink) {
@@ -331,28 +469,24 @@ ChunkRunStats run_chunked(const ChunkOptions& opt, const ChunkFn& fn, EdgeSink& 
             forward.flush();
         });
     } else {
-        // Ordered sink: chunks materialize into per-chunk buffers which are
-        // handed over in canonical chunk order as soon as the next-expected
-        // chunk completes — the output stream is bit-identical to a
-        // sequential run, for any worker count and any steal schedule.
-        std::vector<EdgeList> buffers(num_chunks);
-        std::vector<u8> ready(num_chunks, 0);
-        std::mutex deliver_mutex;
-        u64 cursor = 0;
+        // Ordered sink: chunks materialize into per-chunk payloads which a
+        // single designated drainer hands over in canonical chunk order —
+        // the output stream is bit-identical to a sequential run, for any
+        // worker count and any steal schedule. Sink and spill I/O happen
+        // outside the bookkeeping lock, and chunks completing more than
+        // `max_buffered_bytes` ahead of the cursor park on disk, so peak
+        // memory is budget + one chunk instead of O(completion skew).
+        OrderedDelivery delivery(num_chunks, opt.max_buffered_bytes,
+                                 opt.spill_path, sink);
         pool.parallel_for(num_chunks, workers, [&](u64 chunk) {
             MemorySink local;
             fn(chunk, num_chunks, local);
-            EdgeList edges = local.take();
-            std::lock_guard<std::mutex> lock(deliver_mutex);
-            buffers[chunk] = std::move(edges);
-            ready[chunk]   = 1;
-            while (cursor < num_chunks && ready[cursor]) {
-                sink.deliver(buffers[cursor].data(), buffers[cursor].size());
-                buffers[cursor] = EdgeList{}; // release eagerly
-                ++cursor;
-            }
+            delivery.complete(chunk, local.take());
         });
-        assert(cursor == num_chunks);
+        assert(delivery.delivered_chunks() == num_chunks);
+        stats.peak_buffered_bytes = delivery.peak_buffered_bytes();
+        stats.spilled_chunks      = delivery.spilled_chunks();
+        stats.spilled_bytes       = delivery.spilled_bytes();
     }
     const auto stop = std::chrono::steady_clock::now();
     stats.seconds   = std::chrono::duration<double>(stop - start).count();

@@ -20,6 +20,7 @@
 #pragma once
 
 #include <functional>
+#include <string>
 #include <vector>
 
 #include "common/types.hpp"
@@ -92,6 +93,18 @@ struct ChunkOptions {
                            ///< makes the output independent of P and K.
     u64 threads       = 0; ///< worker cap; 0 = min(P, hardware threads)
     ThreadPool* pool  = nullptr; ///< pool to run on; null = global()
+
+    /// Ordered-delivery byte budget: chunks that complete ahead of the
+    /// delivery cursor may hold at most this many resident edge bytes
+    /// before further out-of-window chunks spill to disk (sink/spill.hpp)
+    /// and are replayed in canonical order. 0 = unbounded (no spilling).
+    /// Output is byte-identical either way; peak resident chunk-buffer
+    /// memory is bounded by `max_buffered_bytes` + one chunk.
+    u64 max_buffered_bytes = 0;
+
+    /// Spill scratch file location; empty = anonymous temp file under
+    /// $TMPDIR. Only used when `max_buffered_bytes` > 0.
+    std::string spill_path;
 };
 
 /// Generator body of one logical chunk: stream chunk `chunk` of
@@ -102,13 +115,22 @@ struct ChunkRunStats {
     u64 num_chunks = 0;    ///< canonical chunks executed
     u64 workers    = 0;    ///< parallel participants used
     double seconds = 0.0;  ///< wall clock of the parallel section (makespan)
+
+    // Ordered-delivery accounting (all zero for unordered sinks).
+    u64 peak_buffered_bytes = 0; ///< max resident chunk-buffer bytes
+                                 ///< (parked + in-flight) at any instant
+    u64 spilled_chunks = 0;      ///< chunks parked on disk
+    u64 spilled_bytes  = 0;      ///< edge bytes written to the spill file
 };
 
 /// Runs every canonical chunk through `fn` and streams the results into
 /// `sink`. Ordered sinks receive chunks in canonical order (bit-identical
-/// output for any thread count); unordered sinks (`ordered() == false`) get
-/// concurrent delivery with O(chunk) buffering per worker. The caller is
-/// responsible for `sink.finish()`.
+/// output for any thread count): completed chunks park in RAM — or, past
+/// `max_buffered_bytes`, on disk — and a single designated drainer streams
+/// the contiguous ready prefix into the sink *outside* the bookkeeping
+/// lock, so producers never stall on sink I/O. Unordered sinks
+/// (`ordered() == false`) get concurrent delivery with O(buffer) memory
+/// per worker. The caller is responsible for `sink.finish()`.
 ChunkRunStats run_chunked(const ChunkOptions& opt, const ChunkFn& fn, EdgeSink& sink);
 
 } // namespace kagen::pe

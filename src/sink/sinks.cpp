@@ -30,6 +30,19 @@ std::string DegreeStatsSink::summary() const {
 }
 
 void DegreeStatsSink::consume(const Edge* edges, std::size_t count) {
+    // Validate the whole batch before touching any counter: an endpoint
+    // >= n (corrupt input file, miscounted n) must throw, not scribble past
+    // the end of degrees_ — and must leave the histogram unchanged.
+    const u64 n = degrees_.size();
+    for (std::size_t i = 0; i < count; ++i) {
+        if (edges[i].first >= n || edges[i].second >= n) {
+            const VertexId bad =
+                edges[i].first >= n ? edges[i].first : edges[i].second;
+            throw std::out_of_range(
+                "DegreeStatsSink: edge endpoint " + std::to_string(bad) +
+                " out of range for n=" + std::to_string(n));
+        }
+    }
     std::lock_guard<std::mutex> lock(mutex_);
     num_edges_ += count;
     for (std::size_t i = 0; i < count; ++i) {

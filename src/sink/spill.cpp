@@ -1,0 +1,124 @@
+#include "sink/spill.hpp"
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
+#include <stdexcept>
+#include <type_traits>
+
+#include <fcntl.h>
+#include <unistd.h>
+
+namespace kagen::spill {
+namespace {
+
+// Segments are written as raw Edge memory: same process writes and reads,
+// so layout only has to be self-consistent. (std::pair is not *trivially*
+// copyable — its assignment operators are user-provided — but it is
+// standard-layout, and its representation here is exactly two VertexIds,
+// which is all positioned I/O of whole Edge arrays relies on.)
+static_assert(std::is_standard_layout_v<Edge> &&
+                  sizeof(Edge) == 2 * sizeof(VertexId),
+              "Edge must be raw-copyable as two vertex ids");
+
+[[noreturn]] void throw_errno(const std::string& what) {
+    throw std::runtime_error("spill: " + what + ": " + std::strerror(errno));
+}
+
+void write_all(int fd, const void* data, std::size_t bytes, u64 offset) {
+    const char* p = static_cast<const char*>(data);
+    while (bytes > 0) {
+        const ssize_t n = ::pwrite(fd, p, bytes, static_cast<off_t>(offset));
+        if (n < 0) {
+            if (errno == EINTR) continue;
+            throw_errno("write failed"); // e.g. ENOSPC — never silent
+        }
+        p += n;
+        offset += static_cast<u64>(n);
+        bytes -= static_cast<std::size_t>(n);
+    }
+}
+
+void read_all(int fd, void* data, std::size_t bytes, u64 offset) {
+    char* p = static_cast<char*>(data);
+    while (bytes > 0) {
+        const ssize_t n = ::pread(fd, p, bytes, static_cast<off_t>(offset));
+        if (n < 0) {
+            if (errno == EINTR) continue;
+            throw_errno("read failed");
+        }
+        if (n == 0) throw std::runtime_error("spill: segment truncated");
+        p += n;
+        offset += static_cast<u64>(n);
+        bytes -= static_cast<std::size_t>(n);
+    }
+}
+
+} // namespace
+
+SpillFile::SpillFile(const std::string& path) {
+    if (path.empty()) {
+        // Anonymous scratch file: create under $TMPDIR and unlink at once,
+        // so the blocks are reclaimed even if the process dies mid-run.
+        const char* tmpdir = std::getenv("TMPDIR");
+        std::string tmpl   = std::string(tmpdir && *tmpdir ? tmpdir : "/tmp") +
+                           "/kagen_spill_XXXXXX";
+        std::vector<char> buf(tmpl.begin(), tmpl.end());
+        buf.push_back('\0');
+        fd_ = ::mkstemp(buf.data());
+        if (fd_ < 0) throw_errno("cannot create temp file in '" + tmpl + "'");
+        ::unlink(buf.data());
+    } else {
+        fd_ = ::open(path.c_str(), O_RDWR | O_CREAT | O_TRUNC, 0600);
+        if (fd_ < 0) throw_errno("cannot open '" + path + "'");
+        path_ = path;
+    }
+}
+
+SpillFile::~SpillFile() {
+    if (fd_ >= 0) ::close(fd_);
+    if (!path_.empty()) ::unlink(path_.c_str());
+}
+
+SpillFile::Segment SpillFile::append(const Edge* edges, std::size_t count) {
+    const u64 bytes = static_cast<u64>(count) * sizeof(Edge);
+    Segment seg;
+    seg.count = count;
+    {
+        // Only the offset reservation is serialized; the write itself runs
+        // concurrently with other producers' writes (disjoint ranges).
+        std::lock_guard<std::mutex> lock(mutex_);
+        seg.offset = end_;
+        end_ += bytes;
+    }
+    if (count > 0) write_all(fd_, edges, bytes, seg.offset);
+    return seg;
+}
+
+std::size_t SpillFile::read(const Segment& seg, u64 first, Edge* out,
+                            std::size_t max_count) const {
+    if (first >= seg.count) return 0;
+    const std::size_t take =
+        static_cast<std::size_t>(std::min<u64>(seg.count - first, max_count));
+    read_all(fd_, out, take * sizeof(Edge), seg.offset + first * sizeof(Edge));
+    return take;
+}
+
+void SpillFile::replay(const Segment& seg, EdgeSink& sink) const {
+    constexpr std::size_t kBatch = 4096; // 64 KiB of edges per read
+    std::vector<Edge> buf(std::min<u64>(seg.count, kBatch));
+    u64 pos = 0;
+    while (pos < seg.count) {
+        const std::size_t got = read(seg, pos, buf.data(), buf.size());
+        sink.deliver(buf.data(), got);
+        pos += got;
+    }
+}
+
+u64 SpillFile::bytes_spilled() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return end_;
+}
+
+} // namespace kagen::spill

@@ -68,6 +68,51 @@ TEST(DegreeStatsSink, MatchesMaterializedDegrees) {
     EXPECT_EQ(vertices, 100u);
 }
 
+TEST(DegreeStatsSink, OutOfRangeEndpointThrowsWithOffendingVertex) {
+    // Regression: an endpoint >= n (corrupt input file, miscounted n) used
+    // to write straight past the end of the degree vector.
+    DegreeStatsSink sink(10);
+    sink.emit(0, 9); // in range: fine
+    EXPECT_THROW(
+        {
+            sink.emit(3, 10); // first out-of-range id is exactly n
+            sink.finish();
+        },
+        std::out_of_range);
+    try {
+        DegreeStatsSink again(10);
+        again.emit(42, 1);
+        again.finish();
+        FAIL() << "expected std::out_of_range";
+    } catch (const std::out_of_range& e) {
+        EXPECT_NE(std::string(e.what()).find("42"), std::string::npos)
+            << "message should name the offending vertex: " << e.what();
+    }
+    // The batch that threw must not have corrupted the histogram.
+    DegreeStatsSink clean(5);
+    clean.emit(1, 2);
+    clean.flush();
+    EXPECT_THROW(
+        {
+            clean.emit(3, 4);
+            clean.emit(1, 1000);
+            clean.flush();
+        },
+        std::out_of_range);
+    EXPECT_EQ(clean.num_edges(), 1u);
+    EXPECT_EQ(clean.degrees()[3], 0u) << "failed batch partially applied";
+}
+
+TEST(DegreeStatsSink, RejectsCorruptStreamedFile) {
+    // The file-replay path the fix protects: a binary file whose edges
+    // exceed the declared vertex count must throw, not corrupt the heap.
+    const std::string p = ::testing::TempDir() + "kagen_sink_corrupt_ids.bin";
+    io::write_edge_list_binary(p, {{0, 1}, {7, 3}, {2, 2}});
+    DegreeStatsSink sink(4); // n = 4, but the file contains vertex 7
+    EXPECT_THROW(io::stream_edge_list_binary(p, sink), std::out_of_range);
+    std::remove(p.c_str());
+}
+
 class SinkFileTest : public ::testing::Test {
 protected:
     std::string path(const char* name) {
