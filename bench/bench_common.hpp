@@ -79,9 +79,11 @@ inline double engine_scaling_run(benchmark::State& state, const Config& cfg, u64
 } // namespace kagen::bench
 
 /// Defines main(): prints the figure banner, then runs the benchmarks.
+/// The banner goes to stderr so `--benchmark_format=json > out.json`
+/// (the CI dist-bench artifact) stays machine-parseable.
 #define KAGEN_BENCH_MAIN(banner)                                   \
     int main(int argc, char** argv) {                              \
-        std::puts(banner);                                         \
+        std::fputs(banner "\n", stderr);                           \
         benchmark::Initialize(&argc, argv);                        \
         if (benchmark::ReportUnrecognizedArguments(argc, argv)) {  \
             return 1;                                              \

@@ -1,6 +1,6 @@
 // Command-line generator: the "library as a product" entry point.
 //
-// Two execution paths:
+// Three execution paths:
 //  * per-PE (default): writes one PE's edge list as text ("u v" per line),
 //    demonstrating that any rank's output can be produced in isolation —
 //    the paper's whole point.
@@ -11,43 +11,14 @@
 //    O(buffer) memory; the ordered file sink holds completed-but-not-yet-
 //    delivered chunks in a byte-budgeted window, spilling past it — see
 //    -max-buffered-bytes and DESIGN.md §5).
+//  * distributed backend (-ranks N -sink ...): forks N worker PROCESSES,
+//    each generating a contiguous share of the same chunk decomposition in
+//    its own address space with zero inter-worker communication; the
+//    coordinator merges per-rank files/stats. Output is byte-identical to
+//    the single-process -sink run with the same -pes/-chunks-per-pe
+//    (DESIGN.md §8).
 //
-// Usage:
-//   ./example_kagen_tool <model> [options]
-//
-//   model: gnm_directed | gnm_undirected | gnp_directed | gnp_undirected |
-//          rgg2d | rgg3d | rdg2d | rdg3d | rhg | rhg_streaming | ba | rmat
-//   -n N        vertices (default 1024)
-//   -m M        edges (gnm*/rmat; default 8n)
-//   -p P        probability (gnp*)
-//   -r R        radius (rgg*)
-//   -d D        average degree (rhg*) / attachment degree (ba)
-//   -g G        power-law exponent gamma (rhg*)
-//   -s S        seed
-//   -rank R -size P   generate only rank R of P (default: 0 of 1)
-//   -o FILE     output file (default: stdout; binary for -sink file)
-//   -sink KIND  chunked whole-graph run: memory | count | stats | file
-//   -pes P      simulated PEs for -sink runs (default 4)
-//   -chunks-per-pe K   logical chunks per PE (default 4)
-//   -chunks C   pin the canonical chunk count (graph then independent of
-//               -pes / -chunks-per-pe)
-//   -edge-semantics S  as_generated (default) | exact_once. The incident-
-//               edge models (gnm/gnp_undirected, rgg*, rdg*, rhg) redundantly
-//               emit cross-chunk edges on both owners; exact_once applies
-//               the lower-endpoint ownership tie-break so every edge is
-//               emitted exactly once — counts, degree stats, and files then
-//               describe the true graph with no post-hoc dedup. Applies to
-//               both the per-PE and the -sink paths.
-//   -max-buffered-bytes B   ordered-delivery byte budget: chunks completing
-//               ahead of the delivery cursor hold at most B resident bytes;
-//               beyond that they spill to disk and replay in order. Output
-//               is byte-identical to the unbounded run; peak memory is
-//               B + one chunk. 0 (default) = unbounded.
-//   -spill-path FILE   spill scratch location (default: anonymous $TMPDIR)
-//   -dedup-out FILE    after -sink file: external-memory sort/dedup pass to
-//               FILE — the canonical undirected edge set (union_undirected)
-//               at bounded memory, so deduped output works past RAM
-//   -sort-memory BYTES memory budget of the dedup sort (default 64 MiB)
+// Run with -help for the full flag reference grouped by subsystem.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -61,6 +32,62 @@ using namespace kagen;
 
 namespace {
 
+void print_help(std::FILE* out, const char* argv0) {
+    std::fprintf(out,
+        "usage: %s <model> [flags]   (or: %s -help)\n"
+        "\n"
+        "model: gnm_directed | gnm_undirected | gnp_directed | gnp_undirected |\n"
+        "       rgg2d | rgg3d | rdg2d | rdg3d | rhg | rhg_streaming | ba | rmat\n"
+        "\n"
+        "Model parameters:\n"
+        "  -n N        vertices (default 1024)\n"
+        "  -m M        edges (gnm*/rmat; default 8n)\n"
+        "  -p P        edge probability (gnp*)\n"
+        "  -r R        radius (rgg*)\n"
+        "  -d D        average degree (rhg*) / attachment degree (ba)\n"
+        "  -g G        power-law exponent gamma (rhg*)\n"
+        "  -s S        seed (default 1)\n"
+        "\n"
+        "Per-PE path (default; text output):\n"
+        "  -rank R     generate only rank R (default 0)\n"
+        "  -size P     of P total ranks (default 1)\n"
+        "  -o FILE     output file (default: stdout; binary for -sink file)\n"
+        "\n"
+        "Chunked engine (whole graph through a streaming sink):\n"
+        "  -sink KIND  memory | count | stats | file\n"
+        "  -pes P      simulated PEs (default 4)\n"
+        "  -chunks-per-pe K   logical chunks per PE (default 4)\n"
+        "  -chunks C   pin the canonical chunk count (graph then independent\n"
+        "              of -pes / -chunks-per-pe / -ranks)\n"
+        "  -edge-semantics S  as_generated (default) | exact_once: exact_once\n"
+        "              applies the lower-endpoint ownership tie-break so every\n"
+        "              edge is emitted exactly once across all chunks\n"
+        "\n"
+        "Ordered delivery / spill window:\n"
+        "  -max-buffered-bytes B   byte budget for chunks completing ahead of\n"
+        "              the delivery cursor; past it they spill to disk and\n"
+        "              replay in order (0 = unbounded). Output is identical;\n"
+        "              peak memory is B + one chunk\n"
+        "  -spill-path FILE   spill scratch location (default: anonymous $TMPDIR)\n"
+        "\n"
+        "External-memory dedup (after -sink file or -ranks ... -sink file):\n"
+        "  -dedup-out FILE    sort/dedup pass to FILE — the canonical\n"
+        "              undirected edge set (union_undirected) at bounded memory\n"
+        "  -sort-memory BYTES memory budget of the dedup sort (default 64 MiB)\n"
+        "\n"
+        "Distributed backend (multi-process, communication-free):\n"
+        "  -ranks N    fork N worker processes; each generates a contiguous\n"
+        "              share of the chunk decomposition into a per-rank file,\n"
+        "              merged in rank order — byte-identical to the\n"
+        "              single-process -sink run (requires -sink count|stats|file)\n"
+        "  -threads-per-rank T   pool threads inside each worker (default 1)\n"
+        "  -keep-rank-files 1    keep the per-rank scratch files after the merge\n"
+        "\n"
+        "Help:\n"
+        "  -help       this reference\n",
+        argv0, argv0);
+}
+
 Model parse_model(const std::string& name) {
     const Model all[] = {Model::GnmDirected, Model::GnmUndirected,
                          Model::GnpDirected, Model::GnpUndirected, Model::Rgg2D,
@@ -69,8 +96,68 @@ Model parse_model(const std::string& name) {
     for (const Model m : all) {
         if (name == model_name(m)) return m;
     }
-    std::fprintf(stderr, "unknown model '%s'\n", name.c_str());
+    std::fprintf(stderr, "unknown model '%s' (try -help)\n", name.c_str());
     std::exit(2);
+}
+
+int run_distributed_sink(const Config& cfg, const std::string& kind, u64 ranks,
+                         u64 pes, u64 threads_per_rank, bool keep_rank_files,
+                         const char* out_path, const char* dedup_out,
+                         u64 sort_memory) {
+    dist::DistOptions opts;
+    opts.num_ranks        = ranks;
+    opts.num_pes          = pes;
+    opts.threads_per_rank = threads_per_rank;
+    opts.keep_rank_files  = keep_rank_files;
+    if (kind == "file") {
+        if (out_path == nullptr) {
+            std::fprintf(stderr, "-ranks with -sink file requires -o FILE\n");
+            return 2;
+        }
+        opts.output_path = out_path;
+        if (dedup_out != nullptr) {
+            opts.dedup_path  = dedup_out;
+            opts.sort_memory = sort_memory;
+        }
+    } else if (kind == "stats") {
+        opts.degree_stats = true;
+    } else if (kind != "count") {
+        std::fprintf(stderr, "-ranks requires -sink count|stats|file, got '%s'\n",
+                     kind.c_str());
+        return 2;
+    }
+    const dist::DistResult res = generate_distributed(cfg, opts);
+    if (kind == "count") {
+        std::printf("model=%s n=%llu %s ranks=%llu chunks=%llu seconds=%.6f\n",
+                    model_name(cfg.model), static_cast<unsigned long long>(res.n),
+                    res.count.str().c_str(),
+                    static_cast<unsigned long long>(res.num_ranks),
+                    static_cast<unsigned long long>(res.num_chunks), res.seconds);
+        return 0;
+    }
+    if (kind == "stats") {
+        std::printf("model=%s n=%llu %s ranks=%llu chunks=%llu seconds=%.6f\n",
+                    model_name(cfg.model), static_cast<unsigned long long>(res.n),
+                    res.degrees.str().c_str(),
+                    static_cast<unsigned long long>(res.num_ranks),
+                    static_cast<unsigned long long>(res.num_chunks), res.seconds);
+        return 0;
+    }
+    std::printf("model=%s n=%llu edges[%s]=%llu -> %s (binary) ranks=%llu "
+                "chunks=%llu seconds=%.6f spilled_chunks=%llu spilled_bytes=%llu\n",
+                model_name(cfg.model), static_cast<unsigned long long>(res.n),
+                semantics_name(cfg.edge_semantics),
+                static_cast<unsigned long long>(res.edges_written), out_path,
+                static_cast<unsigned long long>(res.num_ranks),
+                static_cast<unsigned long long>(res.num_chunks), res.seconds,
+                static_cast<unsigned long long>(res.spilled_chunks),
+                static_cast<unsigned long long>(res.spilled_bytes));
+    if (dedup_out != nullptr) {
+        std::printf("dedup -> %s unique_edges=%llu sort_memory_bytes=%llu\n",
+                    dedup_out, static_cast<unsigned long long>(res.dedup_edges),
+                    static_cast<unsigned long long>(sort_memory));
+    }
+    return 0;
 }
 
 int run_chunked_sink(const Config& cfg, const std::string& kind, u64 pes,
@@ -184,16 +271,14 @@ int run_per_pe(const Config& cfg, u64 rank, u64 size, const char* out_path) {
 } // namespace
 
 int main(int argc, char** argv) {
+    if (argc >= 2 && (std::strcmp(argv[1], "-help") == 0 ||
+                      std::strcmp(argv[1], "--help") == 0 ||
+                      std::strcmp(argv[1], "-h") == 0)) {
+        print_help(stdout, argv[0]);
+        return 0;
+    }
     if (argc < 2) {
-        std::fprintf(stderr,
-                     "usage: %s <model> [-n N] [-m M] [-p P] [-r R] [-d D] [-g G] "
-                     "[-s S] [-rank R -size P] [-o FILE]\n"
-                     "       [-sink memory|count|stats|file] [-pes P] "
-                     "[-chunks-per-pe K] [-chunks C]\n"
-                     "       [-edge-semantics as_generated|exact_once] "
-                     "[-max-buffered-bytes B] [-spill-path FILE]\n"
-                     "       [-dedup-out FILE] [-sort-memory BYTES]\n",
-                     argv[0]);
+        print_help(stderr, argv[0]); // error path: keep stdout clean for data
         return 2;
     }
     Config cfg;
@@ -201,6 +286,9 @@ int main(int argc, char** argv) {
     cfg.n             = 1024;
     cfg.chunks_per_pe = 4;
     u64 rank = 0, size = 1, pes = 4;
+    u64 ranks             = 0; // 0 = in-process; N = distributed backend
+    u64 threads_per_rank  = 1;
+    bool keep_rank_files  = false;
     u64 sort_memory       = u64{64} << 20; // 64 MiB unless -sort-memory
     const char* out_path  = nullptr;
     const char* dedup_out = nullptr;
@@ -224,6 +312,11 @@ int main(int argc, char** argv) {
         else if (flag == "-pes") pes = std::strtoull(val, nullptr, 10);
         else if (flag == "-chunks-per-pe") cfg.chunks_per_pe = std::strtoull(val, nullptr, 10);
         else if (flag == "-chunks") cfg.total_chunks = std::strtoull(val, nullptr, 10);
+        else if (flag == "-ranks") ranks = std::strtoull(val, nullptr, 10);
+        else if (flag == "-threads-per-rank")
+            threads_per_rank = std::strtoull(val, nullptr, 10);
+        else if (flag == "-keep-rank-files")
+            keep_rank_files = std::strtoull(val, nullptr, 10) != 0;
         else if (flag == "-max-buffered-bytes")
             cfg.max_buffered_bytes = std::strtoull(val, nullptr, 10);
         else if (flag == "-spill-path") cfg.spill_path = val;
@@ -237,7 +330,7 @@ int main(int argc, char** argv) {
             }
         }
         else {
-            std::fprintf(stderr, "unknown flag '%s'\n", flag.c_str());
+            std::fprintf(stderr, "unknown flag '%s' (try -help)\n", flag.c_str());
             return 2;
         }
     }
@@ -254,8 +347,17 @@ int main(int argc, char** argv) {
         std::fprintf(stderr, "-dedup-out requires -sink file\n");
         return 2;
     }
+    if (ranks != 0 && sink_kind.empty()) {
+        std::fprintf(stderr, "-ranks requires -sink count|stats|file\n");
+        return 2;
+    }
 
     try {
+        if (ranks != 0) {
+            return run_distributed_sink(cfg, sink_kind, ranks, pes,
+                                        threads_per_rank, keep_rank_files,
+                                        out_path, dedup_out, sort_memory);
+        }
         if (!sink_kind.empty()) {
             return run_chunked_sink(cfg, sink_kind, pes, out_path, dedup_out,
                                     sort_memory);

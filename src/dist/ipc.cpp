@@ -1,0 +1,172 @@
+#include "dist/ipc.hpp"
+
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include "common/bytes.hpp"
+
+namespace kagen::dist {
+namespace {
+
+constexpr u64 kFrameMagic = 0x4b47444953545321ULL; // "KGDIST!" + version nibble
+
+/// Sanity bound on a frame payload so a corrupt length field fails as a
+/// protocol error, not an allocation attempt. A report is the fixed stats
+/// fields plus at most one 8-bytes-per-vertex degree vector, so 2^37
+/// (128 GiB) leaves room for degree summaries up to ~2^34 vertices —
+/// far past what a single frame should ever carry in practice.
+constexpr u64 kMaxFrameBytes = u64{1} << 37;
+
+[[noreturn]] void throw_errno(const std::string& what) {
+    throw std::runtime_error("dist ipc: " + what + ": " + std::strerror(errno));
+}
+
+void write_all(int fd, const void* data, std::size_t bytes) {
+    const char* p = static_cast<const char*>(data);
+    while (bytes > 0) {
+        const ssize_t n = ::write(fd, p, bytes);
+        if (n < 0) {
+            if (errno == EINTR) continue;
+            throw_errno("pipe write failed");
+        }
+        p += n;
+        bytes -= static_cast<std::size_t>(n);
+    }
+}
+
+void put_chunk_run_stats(std::vector<u8>& out, const pe::ChunkRunStats& s) {
+    bytes::put_u64(out, s.num_chunks);
+    bytes::put_u64(out, s.workers);
+    bytes::put_f64(out, s.seconds);
+    bytes::put_u64(out, s.peak_buffered_bytes);
+    bytes::put_u64(out, s.spilled_chunks);
+    bytes::put_u64(out, s.spilled_bytes);
+}
+
+pe::ChunkRunStats get_chunk_run_stats(const u8*& p, const u8* end) {
+    pe::ChunkRunStats s;
+    s.num_chunks          = bytes::get_u64(p, end);
+    s.workers             = bytes::get_u64(p, end);
+    s.seconds             = bytes::get_f64(p, end);
+    s.peak_buffered_bytes = bytes::get_u64(p, end);
+    s.spilled_chunks      = bytes::get_u64(p, end);
+    s.spilled_bytes       = bytes::get_u64(p, end);
+    return s;
+}
+
+} // namespace
+
+std::vector<u8> serialize_report(const RankReport& report) {
+    std::vector<u8> out;
+    bytes::put_u64(out, report.rank);
+    bytes::put_u64(out, report.ok ? 1 : 0);
+    if (!report.ok) {
+        bytes::put_string(out, report.error);
+        return out;
+    }
+    put_chunk_run_stats(out, report.stats);
+    bytes::put_u64(out, report.chunk_begin);
+    bytes::put_u64(out, report.chunk_end);
+    bytes::put_u64(out, report.file_edges);
+    report.count.serialize(out);
+    bytes::put_u64(out, report.has_degrees ? 1 : 0);
+    if (report.has_degrees) report.degrees.serialize(out);
+    return out;
+}
+
+RankReport deserialize_report(const std::vector<u8>& payload) {
+    const u8* p   = payload.data();
+    const u8* end = p + payload.size();
+    RankReport report;
+    report.rank = bytes::get_u64(p, end);
+    report.ok   = bytes::get_u64(p, end) != 0;
+    if (!report.ok) {
+        report.error = bytes::get_string(p, end);
+        return report;
+    }
+    report.stats       = get_chunk_run_stats(p, end);
+    report.chunk_begin = bytes::get_u64(p, end);
+    report.chunk_end   = bytes::get_u64(p, end);
+    report.file_edges  = bytes::get_u64(p, end);
+    report.count       = CountingSummary::deserialize(p, end);
+    report.has_degrees = bytes::get_u64(p, end) != 0;
+    if (report.has_degrees) report.degrees = DegreeStatsSummary::deserialize(p, end);
+    if (p != end) throw std::runtime_error("dist ipc: trailing bytes in report frame");
+    return report;
+}
+
+StatsPipe::StatsPipe() {
+    int fds[2];
+    if (::pipe2(fds, O_CLOEXEC) != 0) throw_errno("cannot create stats pipe");
+    read_fd_  = fds[0];
+    write_fd_ = fds[1];
+}
+
+StatsPipe::~StatsPipe() {
+    close_read();
+    close_write();
+}
+
+void StatsPipe::close_read() {
+    if (read_fd_ >= 0) ::close(read_fd_);
+    read_fd_ = -1;
+}
+
+void StatsPipe::close_write() {
+    if (write_fd_ >= 0) ::close(write_fd_);
+    write_fd_ = -1;
+}
+
+bool read_exact(int fd, void* data, std::size_t bytes) {
+    char* p          = static_cast<char*>(data);
+    std::size_t done = 0;
+    while (done < bytes) {
+        const ssize_t n = ::read(fd, p + done, bytes - done);
+        if (n < 0) {
+            if (errno == EINTR) continue;
+            throw_errno("read failed");
+        }
+        if (n == 0) {
+            if (done == 0) return false;
+            // A torn frame / truncated file must not decode as a short one.
+            throw std::runtime_error("dist ipc: unexpected EOF mid-read");
+        }
+        done += static_cast<std::size_t>(n);
+    }
+    return true;
+}
+
+void write_frame(int fd, const std::vector<u8>& payload) {
+    std::vector<u8> header;
+    bytes::put_u64(header, kFrameMagic);
+    bytes::put_u64(header, payload.size());
+    write_all(fd, header.data(), header.size());
+    if (!payload.empty()) write_all(fd, payload.data(), payload.size());
+}
+
+bool read_frame(int fd, std::vector<u8>& payload) {
+    u8 header[16];
+    if (!read_exact(fd, header, sizeof(header))) return false;
+    const u8* p    = header;
+    const u8* end  = header + sizeof(header);
+    const u64 magic = bytes::get_u64(p, end);
+    const u64 size  = bytes::get_u64(p, end);
+    if (magic != kFrameMagic) {
+        throw std::runtime_error("dist ipc: bad frame magic");
+    }
+    if (size > kMaxFrameBytes) {
+        throw std::runtime_error("dist ipc: implausible frame size " +
+                                 std::to_string(size));
+    }
+    payload.resize(size);
+    if (size > 0 && !read_exact(fd, payload.data(), size)) {
+        throw std::runtime_error("dist ipc: torn frame (worker died mid-report)");
+    }
+    return true;
+}
+
+} // namespace kagen::dist

@@ -1,0 +1,116 @@
+/// \file runner.hpp
+/// \brief Multi-process distributed backend: communication-free generation
+///        across address spaces.
+///
+/// The paper's headline claim is that every PE generates its partition with
+/// *zero* communication. The chunked engine (pe/pe.hpp) already validates
+/// that in-process — every chunk is a pure function of (chunk, C, seed,
+/// params) — but all "PEs" shared one address space, so nothing proved the
+/// claim survives real process isolation. This runner makes it literal:
+///
+///  * The coordinator forks `num_ranks` worker *processes* and assigns each
+///    a contiguous range of the canonical `C = total_chunks` (or K·P)
+///    decomposition — the same `block_begin` split the in-process scheduler
+///    uses for participants.
+///  * Each worker runs `pe::run_chunked` over its chunk range into a
+///    per-rank binary edge file plus local statistics sinks. Workers share
+///    **nothing**: no memory writes, no locks, no messages — the only bytes
+///    that ever cross a process boundary are one end-of-run stats frame per
+///    worker (dist/ipc.hpp: serialized `pe::ChunkRunStats` + the mergeable
+///    sink summaries of sink/sinks.hpp).
+///  * The coordinator concatenates the per-rank files in canonical rank
+///    order and merges the summaries. Because rank r's stream is exactly
+///    the [block_begin(C,R,r), block_begin(C,R,r+1)) slice of the canonical
+///    chunk stream, the merged file is **byte-identical** to a
+///    single-process `generate_chunked` run into a `BinaryFileSink` — for
+///    every (ranks, P, K) combination and under both edge semantics
+///    (exact-once output stays exact-once: the PR-2 ownership filters are
+///    per-chunk pure functions and never cared which process runs them).
+///
+/// Failure containment: a worker that throws reports the message through
+/// its stats pipe and exits nonzero; a worker that crashes is detected via
+/// EOF + waitpid status. Either way `generate_distributed` throws a
+/// descriptive error naming the rank, removes every partial rank/output
+/// file, and never hangs. See DESIGN.md §8 and tests/test_dist.cpp.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+#include "dist/ipc.hpp"
+
+namespace kagen {
+
+struct Config; // kagen.hpp (which includes this header after defining it)
+
+namespace dist {
+
+/// Execution shape of a distributed run.
+struct DistOptions {
+    u64 num_ranks = 0;        ///< worker processes; 0 = 1 here — the
+                              ///< `kagen::generate_distributed` facade maps
+                              ///< 0 to `Config::num_processes` before calling
+    u64 num_pes   = 0;        ///< simulated PEs P of the decomposition
+                              ///< (C = chunks_per_pe·P unless total_chunks
+                              ///< pins it); 0 = num_ranks. The graph depends
+                              ///< only on C — identical to a single-process
+                              ///< run with the same (P, K).
+    u64 threads_per_rank = 1; ///< pool threads inside each worker (each
+                              ///< worker builds its own private pool; the
+                              ///< forked child never touches the parent's)
+
+    std::string output_path;  ///< merged binary edge file (graph/io format);
+                              ///< empty = stats-only run, no files at all
+    std::string scratch_dir;  ///< per-rank file location; empty = $TMPDIR
+    bool keep_rank_files = false; ///< keep the per-rank files after the merge
+                                  ///< (they live in scratch_dir / $TMPDIR as
+                                  ///< kagen_dist.<pid>.<run>.rank<r>.bin; see
+                                  ///< DistResult::ranks for what each holds)
+
+    bool degree_stats = false; ///< also collect + merge per-vertex degrees
+                               ///< (O(n) per worker and per frame)
+
+    std::string dedup_path;   ///< non-empty: run em::sort_dedup_file over the
+                              ///< merged output into this file (canonical
+                              ///< deduplicated edge set for as_generated runs)
+    u64 sort_memory = u64{64} << 20; ///< memory budget of that dedup sort
+
+    /// Test instrumentation: invoked inside each worker process right after
+    /// the fork, before any generation. Lets tests inject rank-targeted
+    /// faults (throw, _exit, raise) to pin the failure-propagation contract.
+    /// Inherited across fork by memory image; must not rely on threads.
+    std::function<void(u64 rank)> rank_hook;
+};
+
+/// Coordinator-side view of a finished distributed run.
+struct DistResult {
+    u64 n          = 0; ///< global vertex count
+    u64 num_chunks = 0; ///< canonical chunks C of the decomposition
+    u64 num_ranks  = 0; ///< worker processes forked
+
+    double seconds          = 0.0; ///< slowest rank's makespan (the
+                                   ///< distributed job's critical path)
+    u64 peak_buffered_bytes = 0;   ///< max over ranks
+    u64 spilled_chunks      = 0;   ///< summed over ranks
+    u64 spilled_bytes       = 0;   ///< summed over ranks
+
+    u64 edges_written = 0; ///< edges in the merged output file (0 = no file)
+    u64 dedup_edges   = 0; ///< unique edges after the optional dedup pass
+
+    CountingSummary count;       ///< merged counting summary (all ranks)
+    bool has_degrees = false;    ///< degree summary collected and merged
+    DegreeStatsSummary degrees;
+
+    std::vector<RankReport> ranks; ///< per-rank reports, rank order
+};
+
+/// Runs `cfg`'s graph across `opts.num_ranks` forked worker processes and
+/// merges their outputs; see the file comment for the protocol and the
+/// byte-identity guarantee. Throws on invalid options and on any rank
+/// failure (descriptive, no hang, no partial files left behind).
+DistResult run_distributed(const Config& cfg, const DistOptions& opts);
+
+} // namespace dist
+} // namespace kagen

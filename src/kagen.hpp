@@ -38,6 +38,7 @@
 #include "ba/ba.hpp"
 #include "common/math.hpp"
 #include "common/types.hpp"
+#include "dist/runner.hpp"
 #include "er/er.hpp"
 #include "graph/edge_list.hpp"
 #include "hyperbolic/hyperbolic.hpp"
@@ -92,6 +93,14 @@ struct Config {
 
     /// Spill scratch location; empty = anonymous temp file under $TMPDIR.
     std::string spill_path;
+
+    /// Worker processes of the distributed backend (dist/runner.hpp):
+    /// `generate_distributed` forks this many ranks, each generating a
+    /// contiguous share of the canonical chunk decomposition in its own
+    /// address space with zero inter-worker communication. 1 = a single
+    /// (still forked) worker — useful as the identity baseline; the merged
+    /// output is byte-identical to `generate_chunked` for every value.
+    u64 num_processes = 1;
 
     /// Edge-stream semantics (sink/ownership.hpp). `as_generated` keeps the
     /// paper's per-chunk redundancy: the incident-edge models (undirected
@@ -335,6 +344,25 @@ inline ChunkStats generate_chunked(const Config& cfg, u64 num_pes, EdgeSink& sin
     out.spilled_chunks      = stats.spilled_chunks;
     out.spilled_bytes       = stats.spilled_bytes;
     return out;
+}
+
+/// Multi-process distributed run (dist/runner.hpp): forks
+/// `opts.num_ranks` (default `cfg.num_processes`) worker processes, each
+/// generating its contiguous share of the canonical chunk decomposition
+/// into a per-rank file — no inter-worker communication, only one stats
+/// frame per worker back to the coordinator — then merges the rank files in
+/// canonical order. The merged output file is byte-identical to a
+/// single-process `generate_chunked` run into a `BinaryFileSink` with the
+/// same (P, K) decomposition, and the merged `CountingSummary` /
+/// `DegreeStatsSummary` equal the in-process sink statistics exactly.
+/// Throws with a descriptive message if any rank fails (no hang, no
+/// partial files). See DESIGN.md §8.
+inline dist::DistResult generate_distributed(const Config& cfg,
+                                             dist::DistOptions opts = {}) {
+    if (opts.num_ranks == 0) {
+        opts.num_ranks = cfg.num_processes != 0 ? cfg.num_processes : 1;
+    }
+    return dist::run_distributed(cfg, opts);
 }
 
 } // namespace kagen

@@ -7,6 +7,7 @@
 #include <condition_variable>
 #include <memory>
 #include <mutex>
+#include <stdexcept>
 #include <thread>
 
 #include "common/math.hpp"
@@ -448,7 +449,18 @@ ChunkRunStats run_chunked(const ChunkOptions& opt, const ChunkFn& fn, EdgeSink& 
     assert(opt.num_pes >= 1 && opt.chunks_per_pe >= 1);
     const u64 num_chunks =
         opt.total_chunks != 0 ? opt.total_chunks : opt.num_pes * opt.chunks_per_pe;
-    u64 workers = opt.threads;
+    // Subrange selection: tasks cover [begin, end) of the canonical chunks;
+    // fn still sees the full decomposition (chunk id, num_chunks), so the
+    // emitted stream is the exact slice of the whole-graph stream.
+    const u64 begin = opt.chunk_begin;
+    const u64 end   = opt.chunk_end != 0 ? opt.chunk_end : num_chunks;
+    if (begin > end || end > num_chunks) {
+        throw std::invalid_argument(
+            "pe::run_chunked: chunk range [" + std::to_string(begin) + ", " +
+            std::to_string(end) + ") outside [0, " + std::to_string(num_chunks) + ")");
+    }
+    const u64 span = end - begin;
+    u64 workers    = opt.threads;
     if (workers == 0) {
         workers = std::min<u64>(opt.num_pes, std::thread::hardware_concurrency());
     }
@@ -456,16 +468,16 @@ ChunkRunStats run_chunked(const ChunkOptions& opt, const ChunkFn& fn, EdgeSink& 
     ThreadPool& pool = opt.pool != nullptr ? *opt.pool : ThreadPool::global();
 
     ChunkRunStats stats;
-    stats.num_chunks = num_chunks;
-    stats.workers    = std::min<u64>({workers, num_chunks, pool.num_threads()});
+    stats.num_chunks = span;
+    stats.workers    = std::min<u64>({workers, std::max<u64>(span, 1), pool.num_threads()});
 
     const auto start = std::chrono::steady_clock::now();
     if (!sink.ordered()) {
         // Order-insensitive sink: workers stream straight through private
         // buffered facades; memory stays O(buffer) per worker.
-        pool.parallel_for(num_chunks, workers, [&](u64 chunk) {
+        pool.parallel_for(span, workers, [&](u64 task) {
             ForwardingSink forward(sink);
-            fn(chunk, num_chunks, forward);
+            fn(begin + task, num_chunks, forward);
             forward.flush();
         });
     } else {
@@ -476,14 +488,14 @@ ChunkRunStats run_chunked(const ChunkOptions& opt, const ChunkFn& fn, EdgeSink& 
         // outside the bookkeeping lock, and chunks completing more than
         // `max_buffered_bytes` ahead of the cursor park on disk, so peak
         // memory is budget + one chunk instead of O(completion skew).
-        OrderedDelivery delivery(num_chunks, opt.max_buffered_bytes,
+        OrderedDelivery delivery(span, opt.max_buffered_bytes,
                                  opt.spill_path, sink);
-        pool.parallel_for(num_chunks, workers, [&](u64 chunk) {
+        pool.parallel_for(span, workers, [&](u64 task) {
             MemorySink local;
-            fn(chunk, num_chunks, local);
-            delivery.complete(chunk, local.take());
+            fn(begin + task, num_chunks, local);
+            delivery.complete(task, local.take());
         });
-        assert(delivery.delivered_chunks() == num_chunks);
+        assert(delivery.delivered_chunks() == span);
         stats.peak_buffered_bytes = delivery.peak_buffered_bytes();
         stats.spilled_chunks      = delivery.spilled_chunks();
         stats.spilled_bytes       = delivery.spilled_bytes();

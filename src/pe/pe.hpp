@@ -105,6 +105,18 @@ struct ChunkOptions {
     /// Spill scratch file location; empty = anonymous temp file under
     /// $TMPDIR. Only used when `max_buffered_bytes` > 0.
     std::string spill_path;
+
+    /// Canonical chunk subrange [chunk_begin, chunk_end) to execute;
+    /// `chunk_end == 0` means "through the last chunk". The decomposition
+    /// itself is untouched — `fn` still receives (chunk, num_chunks) against
+    /// the full canonical chunk count — so the edge stream of a subrange run
+    /// is exactly the corresponding slice of the whole-graph stream. This is
+    /// what lets a distributed rank (dist/runner.hpp) generate its
+    /// contiguous share of the decomposition in isolation: concatenating the
+    /// per-rank streams in rank order reproduces the single-process output
+    /// byte for byte, with zero communication.
+    u64 chunk_begin = 0;
+    u64 chunk_end   = 0;
 };
 
 /// Generator body of one logical chunk: stream chunk `chunk` of

@@ -3,12 +3,125 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include <fcntl.h>
+#include <unistd.h>
+
+#include "common/bytes.hpp"
+
 namespace kagen {
 
+// ---------------------------------------------------------------------------
+// Mergeable summaries
+// ---------------------------------------------------------------------------
+
+namespace {
+
+EdgeSemantics semantics_from_wire(u64 value) {
+    switch (value) {
+        case 0: return EdgeSemantics::as_generated;
+        case 1: return EdgeSemantics::exact_once;
+    }
+    throw std::runtime_error("summary: unknown edge semantics tag " +
+                             std::to_string(value));
+}
+
+u64 semantics_to_wire(EdgeSemantics semantics) {
+    return semantics == EdgeSemantics::exact_once ? 1 : 0;
+}
+
+} // namespace
+
+void CountingSummary::merge(const CountingSummary& other) {
+    if (semantics != other.semantics) {
+        throw std::invalid_argument(
+            "CountingSummary::merge: semantics mismatch (" +
+            std::string(semantics_name(semantics)) + " vs " +
+            semantics_name(other.semantics) + ")");
+    }
+    num_edges += other.num_edges;
+    num_self_loops += other.num_self_loops;
+}
+
+std::string CountingSummary::str() const {
+    return "edges[" + std::string(semantics_name(semantics)) +
+           "]=" + std::to_string(num_edges) +
+           " self_loops=" + std::to_string(num_self_loops);
+}
+
+void CountingSummary::serialize(std::vector<u8>& out) const {
+    bytes::put_u64(out, semantics_to_wire(semantics));
+    bytes::put_u64(out, num_edges);
+    bytes::put_u64(out, num_self_loops);
+}
+
+CountingSummary CountingSummary::deserialize(const u8*& p, const u8* end) {
+    CountingSummary s;
+    s.semantics      = semantics_from_wire(bytes::get_u64(p, end));
+    s.num_edges      = bytes::get_u64(p, end);
+    s.num_self_loops = bytes::get_u64(p, end);
+    return s;
+}
+
+void DegreeStatsSummary::merge(const DegreeStatsSummary& other) {
+    if (semantics != other.semantics) {
+        throw std::invalid_argument(
+            "DegreeStatsSummary::merge: semantics mismatch (" +
+            std::string(semantics_name(semantics)) + " vs " +
+            semantics_name(other.semantics) + ")");
+    }
+    if (degrees.size() != other.degrees.size()) {
+        throw std::invalid_argument(
+            "DegreeStatsSummary::merge: vertex count mismatch (" +
+            std::to_string(degrees.size()) + " vs " +
+            std::to_string(other.degrees.size()) + ")");
+    }
+    num_edges += other.num_edges;
+    for (std::size_t v = 0; v < degrees.size(); ++v) degrees[v] += other.degrees[v];
+}
+
+double DegreeStatsSummary::average_degree() const {
+    if (degrees.empty()) return 0.0;
+    u128 sum = 0;
+    for (const u64 d : degrees) sum += d;
+    return static_cast<double>(sum) / static_cast<double>(degrees.size());
+}
+
+u64 DegreeStatsSummary::max_degree() const {
+    return degrees.empty() ? 0 : *std::max_element(degrees.begin(), degrees.end());
+}
+
+std::string DegreeStatsSummary::str() const {
+    char avg[32];
+    std::snprintf(avg, sizeof(avg), "%.4f", average_degree());
+    return "edges[" + std::string(semantics_name(semantics)) +
+           "]=" + std::to_string(num_edges) + " avg_deg=" + avg +
+           " max_deg=" + std::to_string(max_degree());
+}
+
+void DegreeStatsSummary::serialize(std::vector<u8>& out) const {
+    bytes::put_u64(out, semantics_to_wire(semantics));
+    bytes::put_u64(out, num_edges);
+    bytes::put_u64_vector(out, degrees);
+}
+
+DegreeStatsSummary DegreeStatsSummary::deserialize(const u8*& p, const u8* end) {
+    DegreeStatsSummary s;
+    s.semantics = semantics_from_wire(bytes::get_u64(p, end));
+    s.num_edges = bytes::get_u64(p, end);
+    s.degrees   = bytes::get_u64_vector(p, end);
+    return s;
+}
+
 std::string CountingSink::summary() const {
-    return "edges[" + std::string(semantics_name(semantics_)) +
-           "]=" + std::to_string(num_edges_) +
-           " self_loops=" + std::to_string(num_self_loops_);
+    return summarize().str();
+}
+
+CountingSummary CountingSink::summarize() const {
+    CountingSummary s;
+    s.semantics      = semantics_;
+    s.num_edges      = num_edges_;
+    s.num_self_loops = num_self_loops_;
+    return s;
 }
 
 void CountingSink::consume(const Edge* edges, std::size_t count) {
@@ -22,11 +135,15 @@ void CountingSink::consume(const Edge* edges, std::size_t count) {
 }
 
 std::string DegreeStatsSink::summary() const {
-    char avg[32];
-    std::snprintf(avg, sizeof(avg), "%.4f", average_degree());
-    return "edges[" + std::string(semantics_name(semantics_)) +
-           "]=" + std::to_string(num_edges_) + " avg_deg=" + avg +
-           " max_deg=" + std::to_string(max_degree());
+    return summarize().str();
+}
+
+DegreeStatsSummary DegreeStatsSink::summarize() const {
+    DegreeStatsSummary s;
+    s.semantics = semantics_;
+    s.num_edges = num_edges_;
+    s.degrees   = degrees_;
+    return s;
 }
 
 void DegreeStatsSink::consume(const Edge* edges, std::size_t count) {
@@ -68,9 +185,16 @@ std::vector<u64> DegreeStatsSink::degree_histogram() const {
     return hist;
 }
 
-BinaryFileSink::BinaryFileSink(const std::string& path)
-    : path_(path), file_(std::fopen(path.c_str(), "wb")) {
+BinaryFileSink::BinaryFileSink(const std::string& path) : path_(path) {
+    // open(2) + fdopen instead of fopen: the descriptor must carry
+    // O_CLOEXEC so a subprocess spawned by any thread of this process (the
+    // distributed runner's workers in particular) can never inherit a
+    // writable handle onto this output file.
+    const int fd =
+        ::open(path.c_str(), O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC, 0644);
+    file_ = fd >= 0 ? ::fdopen(fd, "wb") : nullptr;
     if (file_ == nullptr) {
+        if (fd >= 0) ::close(fd);
         throw std::runtime_error("cannot open '" + path + "'");
     }
     const u64 placeholder = 0; // patched by finish()
@@ -79,6 +203,10 @@ BinaryFileSink::BinaryFileSink(const std::string& path)
         file_ = nullptr;
         throw std::runtime_error("cannot write header of '" + path + "'");
     }
+}
+
+int BinaryFileSink::fd() const {
+    return file_ != nullptr ? ::fileno(file_) : -1;
 }
 
 BinaryFileSink::~BinaryFileSink() {

@@ -14,6 +14,64 @@
 
 namespace kagen {
 
+// ---------------------------------------------------------------------------
+// Mergeable sink summaries
+// ---------------------------------------------------------------------------
+//
+// Value-type snapshots of the streaming statistics sinks. They exist so
+// statistics survive a process boundary: a distributed rank (dist/) streams
+// its chunk range through local sinks, ships the summary over the stats
+// pipe, and the coordinator merges the per-rank summaries into exactly the
+// numbers a single-process run over the whole chunk range would have
+// produced. Merging is exact (integer counters and degree vectors add), so
+// "merged equals in-process" is a bit-for-bit equality, not an estimate —
+// and the same property makes the summaries useful for any multi-run
+// aggregation (e.g. seed sweeps). Serialization goes through common/bytes:
+// explicit little-endian layout, bounds-checked decode.
+
+/// Snapshot of a `CountingSink`.
+struct CountingSummary {
+    EdgeSemantics semantics = EdgeSemantics::as_generated;
+    u64 num_edges           = 0;
+    u64 num_self_loops      = 0;
+
+    /// Adds `other`'s counts into this summary. The streams being combined
+    /// must carry the same semantics — a mixed total would be meaningless —
+    /// so a mismatch throws.
+    void merge(const CountingSummary& other);
+
+    /// Identical wording to `CountingSink::summary()` over the same totals.
+    std::string str() const;
+
+    void serialize(std::vector<u8>& out) const;
+    static CountingSummary deserialize(const u8*& p, const u8* end);
+
+    friend bool operator==(const CountingSummary&, const CountingSummary&) = default;
+};
+
+/// Snapshot of a `DegreeStatsSink` (degree vector included, so merging is
+/// exact per vertex; O(n) like the sink itself).
+struct DegreeStatsSummary {
+    EdgeSemantics semantics = EdgeSemantics::as_generated;
+    u64 num_edges           = 0;
+    std::vector<u64> degrees;
+
+    /// Element-wise degree addition. Throws on semantics or vertex-count
+    /// mismatch (summaries of different graphs cannot be combined).
+    void merge(const DegreeStatsSummary& other);
+
+    double average_degree() const;
+    u64 max_degree() const;
+
+    /// Identical wording to `DegreeStatsSink::summary()` over the same data.
+    std::string str() const;
+
+    void serialize(std::vector<u8>& out) const;
+    static DegreeStatsSummary deserialize(const u8*& p, const u8* end);
+
+    friend bool operator==(const DegreeStatsSummary&, const DegreeStatsSummary&) = default;
+};
+
 /// Appends every edge to an EdgeList — the pre-sink behaviour. All legacy
 /// EdgeList-returning generator entry points are thin wrappers over this.
 class MemorySink final : public EdgeSink {
@@ -67,6 +125,9 @@ public:
     /// semantics of the stream they were computed from.
     std::string summary() const;
 
+    /// Mergeable/serializable snapshot of the current totals.
+    CountingSummary summarize() const;
+
 private:
     void consume(const Edge* edges, std::size_t count) override;
 
@@ -110,6 +171,9 @@ public:
     /// One-line report; totals are labelled with the stream semantics.
     std::string summary() const;
 
+    /// Mergeable/serializable snapshot (copies the degree vector).
+    DegreeStatsSummary summarize() const;
+
 protected:
     void consume(const Edge* edges, std::size_t count) override;
 
@@ -124,6 +188,11 @@ private:
 /// then u64 pairs); the header is back-patched in finish(), so the edge
 /// count never needs to be known up front. Output is bit-identical to
 /// io::write_edge_list_binary over the same edge sequence.
+///
+/// The descriptor is opened with O_CLOEXEC: the distributed runner (dist/)
+/// forks workers out of a process that may hold open output sinks, and a
+/// worker that execs a subprocess must not leak a writable descriptor onto
+/// the coordinator's output file (tests/test_dist.cpp pins this).
 class BinaryFileSink final : public EdgeSink {
 public:
     explicit BinaryFileSink(const std::string& path);
@@ -134,6 +203,9 @@ public:
 
     void finish() override;
     u64 num_edges() const { return num_edges_; }
+
+    /// Underlying descriptor (diagnostics/tests; -1 after finish()).
+    int fd() const;
 
 protected:
     void consume(const Edge* edges, std::size_t count) override;

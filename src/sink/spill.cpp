@@ -66,11 +66,13 @@ SpillFile::SpillFile(const std::string& path) {
                            "/kagen_spill_XXXXXX";
         std::vector<char> buf(tmpl.begin(), tmpl.end());
         buf.push_back('\0');
-        fd_ = ::mkstemp(buf.data());
+        // O_CLOEXEC (see fd() in the header): scratch fds must never leak
+        // into subprocesses spawned by this process.
+        fd_ = ::mkostemp(buf.data(), O_CLOEXEC);
         if (fd_ < 0) throw_errno("cannot create temp file in '" + tmpl + "'");
         ::unlink(buf.data());
     } else {
-        fd_ = ::open(path.c_str(), O_RDWR | O_CREAT | O_TRUNC, 0600);
+        fd_ = ::open(path.c_str(), O_RDWR | O_CREAT | O_TRUNC | O_CLOEXEC, 0600);
         if (fd_ < 0) throw_errno("cannot open '" + path + "'");
         path_ = path;
     }

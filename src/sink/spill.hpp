@@ -67,6 +67,13 @@ public:
     /// Total bytes ever appended.
     u64 bytes_spilled() const;
 
+    /// Underlying descriptor (diagnostics/tests). Opened with O_CLOEXEC:
+    /// a subprocess spawned while the coordinator holds a spill window open
+    /// (dist/ forks workers in exactly this situation) must not inherit a
+    /// writable handle onto the scratch file — tests/test_dist.cpp proves a
+    /// worker cannot clobber it.
+    int fd() const { return fd_; }
+
 private:
     mutable std::mutex mutex_;
     int fd_ = -1;

@@ -363,6 +363,97 @@ TEST_F(SinkFileTest, EngineStreamsBinaryFileIdenticalToMaterializedWrite) {
     EXPECT_EQ(slurp(streamed), slurp(batched));
 }
 
+// ---------------------------------------------------------------------------
+// Mergeable summaries: merging per-part summaries must equal the summary of
+// the combined stream, exactly — the property the distributed coordinator
+// (dist/runner.cpp) relies on, but useful for any multi-run aggregation.
+// ---------------------------------------------------------------------------
+
+TEST(CountingSummary, MergeEqualsSummaryOfCombinedStream) {
+    const EdgeList edges = some_edges(3000);
+    CountingSink whole(EdgeSemantics::exact_once);
+    CountingSink lo(EdgeSemantics::exact_once);
+    CountingSink hi(EdgeSemantics::exact_once);
+    for (std::size_t i = 0; i < edges.size(); ++i) {
+        whole.emit(edges[i]);
+        (i < 1234 ? lo : hi).emit(edges[i]);
+    }
+    whole.finish();
+    lo.finish();
+    hi.finish();
+    CountingSummary merged = lo.summarize();
+    merged.merge(hi.summarize());
+    EXPECT_EQ(merged, whole.summarize());
+    EXPECT_EQ(merged.str(), whole.summary());
+}
+
+TEST(CountingSummary, MergeRejectsSemanticsMismatch) {
+    CountingSummary a, b;
+    a.semantics = EdgeSemantics::as_generated;
+    b.semantics = EdgeSemantics::exact_once;
+    EXPECT_THROW(a.merge(b), std::invalid_argument);
+}
+
+TEST(CountingSummary, SerializeRoundTrips) {
+    CountingSink sink(EdgeSemantics::exact_once);
+    sink.emit(1, 2);
+    sink.emit(3, 3);
+    sink.finish();
+    const CountingSummary original = sink.summarize();
+    std::vector<u8> wire;
+    original.serialize(wire);
+    const u8* p = wire.data();
+    EXPECT_EQ(CountingSummary::deserialize(p, p + wire.size()), original);
+    EXPECT_EQ(p, wire.data() + wire.size());
+    // Truncation must throw, not decode garbage.
+    const u8* q = wire.data();
+    EXPECT_THROW(CountingSummary::deserialize(q, q + wire.size() - 1),
+                 std::runtime_error);
+}
+
+TEST(DegreeStatsSummary, MergeEqualsSummaryOfCombinedStream) {
+    const EdgeList edges = some_edges(3000);
+    DegreeStatsSink whole(100);
+    DegreeStatsSink lo(100);
+    DegreeStatsSink hi(100);
+    for (std::size_t i = 0; i < edges.size(); ++i) {
+        whole.emit(edges[i]);
+        (i < 777 ? lo : hi).emit(edges[i]);
+    }
+    whole.finish();
+    lo.finish();
+    hi.finish();
+    DegreeStatsSummary merged = lo.summarize();
+    merged.merge(hi.summarize());
+    EXPECT_EQ(merged, whole.summarize());
+    EXPECT_EQ(merged.str(), whole.summary());
+    EXPECT_EQ(merged.degrees, whole.degrees());
+    EXPECT_DOUBLE_EQ(merged.average_degree(), whole.average_degree());
+    EXPECT_EQ(merged.max_degree(), whole.max_degree());
+}
+
+TEST(DegreeStatsSummary, MergeRejectsMismatchedGraphs) {
+    DegreeStatsSink a(10), b(11);
+    auto sa = a.summarize();
+    EXPECT_THROW(sa.merge(b.summarize()), std::invalid_argument);
+    auto sb = DegreeStatsSink(10, EdgeSemantics::exact_once).summarize();
+    EXPECT_THROW(sa.merge(sb), std::invalid_argument);
+}
+
+TEST(DegreeStatsSummary, SerializeRoundTrips) {
+    DegreeStatsSink sink(50, EdgeSemantics::exact_once);
+    for (const auto& e : some_edges(500)) sink.emit(e.first % 50, e.second % 50);
+    sink.finish();
+    const DegreeStatsSummary original = sink.summarize();
+    std::vector<u8> wire;
+    original.serialize(wire);
+    const u8* p = wire.data();
+    EXPECT_EQ(DegreeStatsSummary::deserialize(p, p + wire.size()), original);
+    const u8* q = wire.data();
+    EXPECT_THROW(DegreeStatsSummary::deserialize(q, q + wire.size() - 8),
+                 std::runtime_error);
+}
+
 TEST(ChunkedEngineApi, RejectsDegenerateShapes) {
     const Config cfg = engine_config(Model::GnmDirected);
     MemorySink sink;
