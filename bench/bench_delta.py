@@ -1,0 +1,57 @@
+#!/usr/bin/env python3
+"""Print the delta between two google-benchmark JSON result files.
+
+Usage: bench_delta.py BASELINE.json CURRENT.json [...CURRENT.json]
+
+Matches benchmarks by name and prints real_time and the Medges/s counter
+side by side with the relative change. Exit code is always 0 — the CI
+perf-smoke job is explicitly non-gating (shared runners are far too noisy
+to fail a build on), the point is a readable trend line next to the
+committed BENCH_5.json baseline.
+"""
+import json
+import sys
+
+
+def load(path):
+    with open(path) as f:
+        data = json.load(f)
+    out = {}
+    for b in data.get("benchmarks", []):
+        out[b["name"]] = b
+    return out
+
+
+def fmt_rate(bench):
+    rate = bench.get("Medges/s")
+    return f"{rate:9.2f}" if isinstance(rate, (int, float)) else "        -"
+
+
+def main():
+    if len(sys.argv) < 3:
+        print(__doc__.strip(), file=sys.stderr)
+        return 0
+    baseline = load(sys.argv[1])
+    current = {}
+    for path in sys.argv[2:]:
+        current.update(load(path))
+
+    print(f"{'benchmark':55s} {'base_ms':>9s} {'now_ms':>9s} {'d_time':>8s} "
+          f"{'base_Me/s':>9s} {'now_Me/s':>9s}")
+    for name in sorted(set(baseline) | set(current)):
+        b, c = baseline.get(name), current.get(name)
+        if b is None or c is None:
+            status = "new" if b is None else "gone"
+            print(f"{name:55s} [{status}]")
+            continue
+        bt, ct = b["real_time"], c["real_time"]
+        delta = (ct - bt) / bt * 100.0 if bt else float("nan")
+        print(f"{name:55s} {bt:9.2f} {ct:9.2f} {delta:+7.1f}% "
+              f"{fmt_rate(b)} {fmt_rate(c)}")
+    print("\n(non-gating: deltas on shared runners are indicative only; "
+          "the committed baseline is BENCH_5.json — see EXPERIMENTS.md)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

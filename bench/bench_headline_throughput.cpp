@@ -151,6 +151,62 @@ BENCHMARK(OwnershipFilterOverhead)
     ->Iterations(3)
     ->Unit(benchmark::kMillisecond);
 
+void FileSinkThroughput(benchmark::State& state) {
+    // The PR-5 headline (DESIGN.md §9): edges/s from generation to their
+    // final resting place on disk, through the full hot path — inlined
+    // sampler emit, direct streaming (single worker) or recycled chunk
+    // buffers (multi-worker), bulk batched fwrite into a 1 MiB stream
+    // buffer. The paper's headline model (directed G(n,m)) so the write
+    // path, not the sampler, is what the number stresses. Arg(0): default
+    // 4096-edge emit buffer; Arg(1): the pre-PR 1024-edge capacity for the
+    // buffer-size ablation.
+    const u64 P = 4;
+
+    Config cfg;
+    cfg.model             = Model::GnmDirected;
+    cfg.n                 = u64{1} << 18;
+    cfg.m                 = u64{1} << 22;
+    cfg.seed              = 3;
+    cfg.chunks_per_pe     = 4;
+    cfg.sink_buffer_edges = state.range(0) == 0 ? 0 : 1024;
+
+    const std::string out = "/tmp/kagen_bench_file_sink_throughput.bin";
+    {
+        CountingSink warmup;
+        generate_chunked(cfg, P, warmup);
+    }
+    double t = 0.0;
+    ChunkStats stats;
+    u64 edges = 0, bytes = 0;
+    for (auto _ : state) {
+        BinaryFileSink sink(out, static_cast<std::size_t>(cfg.sink_buffer_edges));
+        stats = generate_chunked(cfg, P, sink);
+        sink.finish();
+        t     = stats.seconds;
+        edges = sink.num_edges();
+        bytes = sink.bytes_written();
+        state.SetIterationTime(t);
+    }
+    std::remove(out.c_str());
+    state.counters["PEs"]               = static_cast<double>(P);
+    state.counters["edges"]             = static_cast<double>(edges);
+    state.counters["bytes_written"]     = static_cast<double>(bytes);
+    state.counters["buffers_recycled"]  = static_cast<double>(stats.buffers_recycled);
+    state.counters["sink_buffer_edges"] = static_cast<double>(
+        cfg.sink_buffer_edges == 0 ? EdgeSink::kDefaultBufferEdges
+                                   : cfg.sink_buffer_edges);
+    state.counters["makespan_s"]        = t;
+    state.counters["Medges/s"]          = static_cast<double>(edges) / t / 1e6;
+    state.counters["MB_written/s"]      = static_cast<double>(bytes) / t / 1e6;
+}
+
+BENCHMARK(FileSinkThroughput)
+    ->Arg(0) // default emit-buffer capacity (4096)
+    ->Arg(1) // pre-PR capacity (1024) for the ablation
+    ->UseManualTime()
+    ->Iterations(3)
+    ->Unit(benchmark::kMillisecond);
+
 void BoundedDeliveryOverhead(benchmark::State& state) {
     // Ordered file output with the spill window engaged vs unbounded
     // buffering, side by side on the same instance: the price of a strict
@@ -216,4 +272,8 @@ KAGEN_BENCH_MAIN(
     "the cost of streaming duplicate-free counts with zero communication. "
     "(4) Bounded-delivery overhead: ordered file output under a 1 MiB "
     "spill window vs unbounded buffering — peak_buffered_bytes shows the "
-    "memory bound holding, spilled_* what it cost.")
+    "memory bound holding, spilled_* what it cost. (5) File-sink "
+    "throughput: the PR-5 hot-path headline — directed G(n,m) edges/s "
+    "from generation to disk (bulk batched writes, recycled buffers, "
+    "direct streaming); EXPERIMENTS.md records the before/after and "
+    "BENCH_5.json pins the baseline CI diffs against.")

@@ -63,6 +63,13 @@ void print_help(std::FILE* out, const char* argv0) {
         "              applies the lower-endpoint ownership tie-break so every\n"
         "              edge is emitted exactly once across all chunks\n"
         "\n"
+        "Hot path / affinity (DESIGN.md section 9):\n"
+        "  -sink-buffer-edges N   inline emit-buffer capacity in edges for the\n"
+        "              streaming sinks (default 4096); batches reach the file\n"
+        "              sink as single bulk writes of this many edges\n"
+        "  -pin-threads 1   pin pool worker threads to distinct CPUs\n"
+        "              (affinity-aware scheduling; sticky for the process)\n"
+        "\n"
         "Ordered delivery / spill window:\n"
         "  -max-buffered-bytes B   byte budget for chunks completing ahead of\n"
         "              the delivery cursor; past it they spill to disk and\n"
@@ -144,14 +151,19 @@ int run_distributed_sink(const Config& cfg, const std::string& kind, u64 ranks,
         return 0;
     }
     std::printf("model=%s n=%llu edges[%s]=%llu -> %s (binary) ranks=%llu "
-                "chunks=%llu seconds=%.6f spilled_chunks=%llu spilled_bytes=%llu\n",
+                "chunks=%llu seconds=%.6f spilled_chunks=%llu spilled_bytes=%llu "
+                "merged_bytes=%llu copy_file_range_bytes=%llu "
+                "copy_file_range_used=%d\n",
                 model_name(cfg.model), static_cast<unsigned long long>(res.n),
                 semantics_name(cfg.edge_semantics),
                 static_cast<unsigned long long>(res.edges_written), out_path,
                 static_cast<unsigned long long>(res.num_ranks),
                 static_cast<unsigned long long>(res.num_chunks), res.seconds,
                 static_cast<unsigned long long>(res.spilled_chunks),
-                static_cast<unsigned long long>(res.spilled_bytes));
+                static_cast<unsigned long long>(res.spilled_bytes),
+                static_cast<unsigned long long>(res.merged_bytes),
+                static_cast<unsigned long long>(res.copy_file_range_bytes),
+                res.copy_file_range_used() ? 1 : 0);
     if (dedup_out != nullptr) {
         std::printf("dedup -> %s unique_edges=%llu sort_memory_bytes=%llu\n",
                     dedup_out, static_cast<unsigned long long>(res.dedup_edges),
@@ -199,19 +211,22 @@ int run_chunked_sink(const Config& cfg, const std::string& kind, u64 pes,
             std::fprintf(stderr, "-sink file requires -o FILE\n");
             return 2;
         }
-        BinaryFileSink sink(out_path);
+        BinaryFileSink sink(out_path,
+                            static_cast<std::size_t>(cfg.sink_buffer_edges));
         const ChunkStats stats = generate_chunked(cfg, pes, sink);
         sink.finish();
         std::printf("model=%s n=%llu edges[%s]=%llu -> %s (binary) chunks=%llu "
                     "seconds=%.6f peak_buffered_bytes=%llu spilled_chunks=%llu "
-                    "spilled_bytes=%llu\n",
+                    "spilled_bytes=%llu bytes_written=%llu buffers_recycled=%llu\n",
                     model_name(cfg.model), static_cast<unsigned long long>(n),
                     semantics_name(cfg.edge_semantics),
                     static_cast<unsigned long long>(sink.num_edges()), out_path,
                     static_cast<unsigned long long>(stats.num_chunks), stats.seconds,
                     static_cast<unsigned long long>(stats.peak_buffered_bytes),
                     static_cast<unsigned long long>(stats.spilled_chunks),
-                    static_cast<unsigned long long>(stats.spilled_bytes));
+                    static_cast<unsigned long long>(stats.spilled_bytes),
+                    static_cast<unsigned long long>(sink.bytes_written()),
+                    static_cast<unsigned long long>(stats.buffers_recycled));
         if (dedup_out != nullptr) {
             // External-memory dedup: canonical undirected edge set of the
             // file just written, at bounded memory — union_undirected for
@@ -317,6 +332,10 @@ int main(int argc, char** argv) {
             threads_per_rank = std::strtoull(val, nullptr, 10);
         else if (flag == "-keep-rank-files")
             keep_rank_files = std::strtoull(val, nullptr, 10) != 0;
+        else if (flag == "-sink-buffer-edges")
+            cfg.sink_buffer_edges = std::strtoull(val, nullptr, 10);
+        else if (flag == "-pin-threads")
+            cfg.pin_threads = std::strtoull(val, nullptr, 10) != 0;
         else if (flag == "-max-buffered-bytes")
             cfg.max_buffered_bytes = std::strtoull(val, nullptr, 10);
         else if (flag == "-spill-path") cfg.spill_path = val;

@@ -1,0 +1,44 @@
+/// \file fileio.hpp
+/// \brief Raw-descriptor bulk file plumbing shared by the coordinator-side
+///        merge of the distributed runner (DESIGN.md §9).
+///
+/// The distributed backend's only sequential coordinator work is
+/// concatenating the per-rank files into the merged output. Doing that with
+/// a userspace read/fwrite loop moves every byte kernel → user buffer →
+/// kernel; `copy_bytes` instead asks the kernel to splice the ranges
+/// directly with copy_file_range(2) — zero userspace copies, and on
+/// reflink-capable filesystems no data movement at all — falling back to an
+/// EINTR-safe read/write loop where the syscall is unavailable or refuses
+/// the descriptor pair (EXDEV on old kernels, EINVAL/ENOSYS/EOPNOTSUPP,
+/// pipes/devices).
+#pragma once
+
+#include <cstddef>
+
+#include "common/types.hpp"
+
+namespace kagen::fileio {
+
+/// Writes exactly `bytes` bytes to `fd`, retrying on EINTR and short
+/// writes. Throws std::runtime_error (with errno text) on failure.
+void write_all(int fd, const void* data, std::size_t bytes);
+
+/// Outcome of one copy_bytes call.
+struct CopyStats {
+    u64 bytes_copied = 0; ///< total bytes moved (== requested length)
+    u64 cfr_bytes    = 0; ///< bytes moved kernel-side via copy_file_range
+};
+
+/// Copies exactly `length` bytes from `in_fd`'s current file offset to
+/// `out_fd`'s current file offset, advancing both. Prefers
+/// copy_file_range(2); transparently falls back to a read/write loop (which
+/// also handles EINTR and short transfers) when the kernel refuses.
+/// `allow_copy_file_range = false` forces the fallback — the test hook for
+/// pinning byte-identity of both paths, and what the
+/// KAGEN_DISABLE_COPY_FILE_RANGE environment variable toggles in the
+/// distributed runner. Throws std::runtime_error on any I/O failure,
+/// including premature EOF on `in_fd`.
+CopyStats copy_bytes(int in_fd, int out_fd, u64 length,
+                     bool allow_copy_file_range = true);
+
+} // namespace kagen::fileio

@@ -3,6 +3,7 @@
 #include <atomic>
 #include <cerrno>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <memory>
 #include <stdexcept>
@@ -13,6 +14,7 @@
 #include <sys/wait.h>
 #include <unistd.h>
 
+#include "common/fileio.hpp"
 #include "common/math.hpp"
 #include "graph/em_sort.hpp"
 #include "kagen.hpp"
@@ -80,7 +82,10 @@ private:
         if (opt.rank_hook) opt.rank_hook(rank);
 
         std::unique_ptr<BinaryFileSink> file;
-        if (!rank_path.empty()) file = std::make_unique<BinaryFileSink>(rank_path);
+        if (!rank_path.empty()) {
+            file = std::make_unique<BinaryFileSink>(
+                rank_path, static_cast<std::size_t>(cfg.sink_buffer_edges));
+        }
         CountingSink count(cfg.edge_semantics);
         std::unique_ptr<DegreeStatsSink> degrees;
         if (opt.degree_stats) {
@@ -97,6 +102,8 @@ private:
             copt.chunk_begin        = chunk_begin;
             copt.chunk_end          = chunk_end;
             copt.max_buffered_bytes = cfg.max_buffered_bytes;
+            copt.pin_threads        = cfg.pin_threads;
+            copt.deal_granularity   = chunk_deal_granularity(cfg);
             if (!cfg.spill_path.empty()) {
                 // Each rank needs its own scratch file, not a shared name.
                 copt.spill_path =
@@ -181,10 +188,20 @@ int wait_for(pid_t pid) {
     }
 }
 
+/// Test/ops escape hatch: force the coordinator merge onto the userspace
+/// read/write fallback (pins byte-identity of both paths in CI).
+bool copy_file_range_disabled() {
+    const char* v = std::getenv("KAGEN_DISABLE_COPY_FILE_RANGE");
+    return v != nullptr && *v != '\0' && *v != '0';
+}
+
 /// Validates a rank file against the worker's report (header count and
-/// exact byte size) and appends its payload to `out`.
-void append_rank_file(std::FILE* out, const std::string& rank_path,
-                      u64 expected_edges) {
+/// exact byte size) and appends its payload to `out_fd` at its current
+/// offset. Kernel-side zero-copy via fileio::copy_bytes (copy_file_range
+/// with an EINTR-safe read/write fallback); both paths verify the full
+/// payload length arrived, so a shrinking rank file still fails loudly.
+fileio::CopyStats append_rank_file(int out_fd, const std::string& rank_path,
+                                   u64 expected_edges) {
     const int fd = ::open(rank_path.c_str(), O_RDONLY | O_CLOEXEC);
     if (fd < 0) throw_errno("cannot reopen rank file '" + rank_path + "'");
     struct FdGuard {
@@ -213,25 +230,14 @@ void append_rank_file(std::FILE* out, const std::string& rank_path,
             std::to_string(expected_bytes));
     }
 
-    std::vector<char> buf(u64{1} << 20);
-    u64 copied = 0;
-    for (;;) {
-        const ssize_t n = ::read(fd, buf.data(), buf.size());
-        if (n < 0) {
-            if (errno == EINTR) continue;
-            throw_errno("read '" + rank_path + "'");
-        }
-        if (n == 0) break;
-        if (std::fwrite(buf.data(), 1, static_cast<std::size_t>(n), out) !=
-            static_cast<std::size_t>(n)) {
-            throw std::runtime_error(
-                "generate_distributed: short write while merging rank files");
-        }
-        copied += static_cast<u64>(n);
-    }
-    if (copied != expected_bytes - 8) {
-        throw std::runtime_error("generate_distributed: rank file '" + rank_path +
-                                 "' shrank while merging");
+    // read_exact advanced the offset past the header; the payload copy
+    // continues from there.
+    try {
+        return fileio::copy_bytes(fd, out_fd, expected_bytes - 8,
+                                  !copy_file_range_disabled());
+    } catch (const std::exception& e) {
+        throw std::runtime_error("generate_distributed: merging '" + rank_path +
+                                 "': " + e.what());
     }
 }
 
@@ -368,35 +374,39 @@ DistResult run_distributed(const Config& cfg, const DistOptions& opts) {
             std::max(result.peak_buffered_bytes, rep.stats.peak_buffered_bytes);
         result.spilled_chunks += rep.stats.spilled_chunks;
         result.spilled_bytes += rep.stats.spilled_bytes;
+        result.buffers_recycled += rep.stats.buffers_recycled;
     }
     result.ranks = std::move(reports);
 
     if (want_file) {
         try {
+            // Raw descriptor end to end: the header is one checked
+            // write_all and the payload concatenation is kernel-side
+            // (fileio::copy_bytes), so there is no stdio buffer whose error
+            // state could swallow a failed write — every byte is either
+            // acknowledged by the kernel or throws here.
             const int out_fd = ::open(opt.output_path.c_str(),
                                       O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC, 0644);
-            std::FILE* out = out_fd >= 0 ? ::fdopen(out_fd, "wb") : nullptr;
-            if (out == nullptr) {
-                if (out_fd >= 0) ::close(out_fd);
+            if (out_fd < 0) {
                 throw_errno("cannot open output '" + opt.output_path + "'");
             }
             try {
-                if (std::fwrite(&total_edges, sizeof(total_edges), 1, out) != 1) {
-                    throw std::runtime_error(
-                        "generate_distributed: cannot write output header");
-                }
+                fileio::write_all(out_fd, &total_edges, sizeof(total_edges));
                 for (u64 r = 0; r < opt.num_ranks; ++r) {
-                    append_rank_file(out, workers[r].rank_path,
-                                     result.ranks[r].file_edges);
+                    const fileio::CopyStats copied = append_rank_file(
+                        out_fd, workers[r].rank_path, result.ranks[r].file_edges);
+                    result.merged_bytes += copied.bytes_copied;
+                    result.copy_file_range_bytes += copied.cfr_bytes;
                 }
-                if (std::fclose(out) != 0) {
-                    out = nullptr;
-                    throw_errno("cannot close output '" + opt.output_path + "'");
-                }
-                out = nullptr;
             } catch (...) {
-                if (out != nullptr) std::fclose(out);
+                ::close(out_fd);
                 throw;
+            }
+            // Close outside the try: close(2) releases the descriptor even
+            // when it reports an error, so the catch block above must never
+            // see an already-released (possibly recycled) fd.
+            if (::close(out_fd) != 0) {
+                throw_errno("cannot close output '" + opt.output_path + "'");
             }
             result.edges_written = total_edges;
         } catch (...) {

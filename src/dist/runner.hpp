@@ -95,9 +95,22 @@ struct DistResult {
     u64 peak_buffered_bytes = 0;   ///< max over ranks
     u64 spilled_chunks      = 0;   ///< summed over ranks
     u64 spilled_bytes       = 0;   ///< summed over ranks
+    u64 buffers_recycled    = 0;   ///< summed over ranks (chunk-buffer pool)
 
     u64 edges_written = 0; ///< edges in the merged output file (0 = no file)
     u64 dedup_edges   = 0; ///< unique edges after the optional dedup pass
+
+    // Coordinator merge accounting (DESIGN.md §9): how the rank files'
+    // payload bytes reached the merged output.
+    u64 merged_bytes          = 0; ///< rank-file payload bytes concatenated
+    u64 copy_file_range_bytes = 0; ///< of those, moved kernel-side via
+                                   ///< copy_file_range (the rest went
+                                   ///< through the read/write fallback)
+
+    /// Whether the kernel-side zero-copy path carried the whole merge.
+    bool copy_file_range_used() const {
+        return merged_bytes > 0 && copy_file_range_bytes == merged_bytes;
+    }
 
     CountingSummary count;       ///< merged counting summary (all ranks)
     bool has_degrees = false;    ///< degree summary collected and merged

@@ -94,6 +94,19 @@ struct Config {
     /// Spill scratch location; empty = anonymous temp file under $TMPDIR.
     std::string spill_path;
 
+    /// Inline emit-buffer capacity (edges) for sinks the library constructs
+    /// on the caller's behalf — the per-rank BinaryFileSink of the
+    /// distributed backend in particular. 0 = EdgeSink::kDefaultBufferEdges.
+    /// Sinks the caller constructs directly take the same knob as a
+    /// constructor argument (tool: -sink-buffer-edges).
+    u64 sink_buffer_edges = 0;
+
+    /// Pin pool worker threads to distinct CPUs for chunked/distributed
+    /// runs (pe::ThreadPool::pin_workers; tool: -pin-threads). Opt-in:
+    /// pinning is sticky for the pool's lifetime and helps once
+    /// chunk→worker affinity matters (see ChunkOptions::deal_granularity).
+    bool pin_threads = false;
+
     /// Worker processes of the distributed backend (dist/runner.hpp):
     /// `generate_distributed` forks this many ranks, each generating a
     /// contiguous share of the canonical chunk decomposition in its own
@@ -203,6 +216,26 @@ inline IdIntervals owned_vertex_intervals(const Config& cfg, u64 rank, u64 size)
     }
 }
 
+/// Affinity-group size for the chunk→worker deal of `cfg`'s model
+/// (pe::ChunkOptions::deal_granularity). The geometric point_grid models
+/// map consecutive chunk ids to contiguous Morton cell ranges, so dealing
+/// chunks in groups of K = chunks_per_pe keeps each simulated PE's
+/// spatially compact block on one worker — adjacent chunks share split-tree
+/// ancestry and halo cells, so the worker's caches stay warm across the
+/// block. Non-spatial models gain nothing from grouping and keep the plain
+/// equal-count deal. Scheduling only; output is identical either way.
+inline u64 chunk_deal_granularity(const Config& cfg) {
+    switch (cfg.model) {
+        case Model::Rgg2D:
+        case Model::Rgg3D:
+        case Model::Rdg2D:
+        case Model::Rdg3D:
+            return std::max<u64>(cfg.chunks_per_pe, 1);
+        default:
+            return 1;
+    }
+}
+
 namespace detail {
 
 /// The raw per-model dispatch: streams chunk `rank` of `size` exactly as
@@ -292,10 +325,15 @@ struct ChunkStats {
     u64 workers    = 0;   ///< parallel participants used
     double seconds = 0.0; ///< makespan of the generation phase
 
-    // Ordered-delivery accounting (zero for unordered sinks).
+    // Ordered-delivery accounting (zero for unordered sinks and for
+    // single-worker runs, which stream directly — no chunk buffers).
     u64 peak_buffered_bytes = 0; ///< max resident chunk-buffer bytes
     u64 spilled_chunks      = 0; ///< chunks parked on disk
     u64 spilled_bytes       = 0; ///< edge bytes written to the spill file
+
+    // Chunk-buffer pool accounting (multi-worker ordered runs only).
+    u64 buffers_recycled  = 0; ///< chunk buffers reused from the pool
+    u64 buffers_allocated = 0; ///< chunk buffers freshly allocated
 };
 
 /// Whole-graph chunked engine: runs every canonical chunk (total_chunks,
@@ -331,6 +369,8 @@ inline ChunkStats generate_chunked(const Config& cfg, u64 num_pes, EdgeSink& sin
     opt.pool               = pool;
     opt.max_buffered_bytes = cfg.max_buffered_bytes;
     opt.spill_path         = cfg.spill_path;
+    opt.pin_threads        = cfg.pin_threads;
+    opt.deal_granularity   = chunk_deal_granularity(cfg);
     const auto stats       = pe::run_chunked(
         opt,
         [&cfg](u64 chunk, u64 num_chunks, EdgeSink& chunk_sink) {
@@ -343,6 +383,8 @@ inline ChunkStats generate_chunked(const Config& cfg, u64 num_pes, EdgeSink& sin
     out.peak_buffered_bytes = stats.peak_buffered_bytes;
     out.spilled_chunks      = stats.spilled_chunks;
     out.spilled_bytes       = stats.spilled_bytes;
+    out.buffers_recycled    = stats.buffers_recycled;
+    out.buffers_allocated   = stats.buffers_allocated;
     return out;
 }
 

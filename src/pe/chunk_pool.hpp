@@ -1,0 +1,98 @@
+/// \file chunk_pool.hpp
+/// \brief Recycling pool of chunk edge buffers for the ordered delivery
+///        path of the chunked execution engine (DESIGN.md §9).
+///
+/// Before this pool, `pe::run_chunked` heap-allocated a fresh `EdgeList`
+/// for every logical chunk and freed it after delivery: one malloc, a
+/// doubling-growth reallocation cascade while the chunk filled, and one
+/// free — per chunk, times K·P chunks. Recycling the buffers removes all
+/// of it after warm-up: a released buffer keeps its capacity, so the next
+/// chunk that acquires it appends with zero reallocations, and the
+/// steady-state *payload* allocations of a run drop to at most
+/// `max_retained` (plus parked buffers under completion skew). The small
+/// fixed-size emit buffer of the per-chunk `MemorySink` facade remains
+/// one allocation per chunk — constant-sized, never grown, and dwarfed by
+/// a chunk's generation work.
+///
+/// Concurrency: producers acquire on their worker thread; the designated
+/// drainer releases after sink delivery (possibly a different thread). The
+/// free list is a mutex-guarded stack — two lock acquisitions per *chunk*
+/// (vs. millions of per-edge operations), unmeasurable next to generation.
+///
+/// Interaction with the spill window: a retained buffer's capacity is
+/// resident memory the `max_buffered_bytes` accounting cannot see, so
+/// bounded-memory runs construct the pool with `max_retained == 0`
+/// (release frees immediately) and keep the documented
+/// "budget + one chunk" peak bound exact. See pe.cpp.
+#pragma once
+
+#include <mutex>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace kagen::pe {
+
+class ChunkBufferPool {
+public:
+    /// \param max_retained buffers kept alive on the free list; releases
+    ///        beyond it free their memory. 0 disables recycling entirely.
+    explicit ChunkBufferPool(u64 max_retained) : max_retained_(max_retained) {}
+
+    ChunkBufferPool(const ChunkBufferPool&)            = delete;
+    ChunkBufferPool& operator=(const ChunkBufferPool&) = delete;
+
+    /// An empty buffer: recycled (capacity preserved) when the free list
+    /// has one, freshly default-constructed otherwise.
+    EdgeList acquire() {
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            if (!free_.empty()) {
+                EdgeList buf = std::move(free_.back());
+                free_.pop_back();
+                ++recycled_;
+                return buf;
+            }
+            ++allocated_;
+        }
+        return EdgeList{};
+    }
+
+    /// Hands a buffer back. Contents are discarded (cleared); capacity is
+    /// retained while the free list is below `max_retained`, else the
+    /// memory is released here.
+    void release(EdgeList buf) {
+        buf.clear();
+        if (buf.capacity() == 0) return; // nothing worth keeping
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (free_.size() < max_retained_) free_.push_back(std::move(buf));
+        // else: `buf` frees on scope exit
+    }
+
+    /// Acquires that reused a retained buffer (the recycling hit count).
+    u64 buffers_recycled() const {
+        std::lock_guard<std::mutex> lock(mutex_);
+        return recycled_;
+    }
+
+    /// Acquires that had to default-construct a fresh buffer.
+    u64 buffers_allocated() const {
+        std::lock_guard<std::mutex> lock(mutex_);
+        return allocated_;
+    }
+
+    /// Buffers currently parked on the free list.
+    u64 buffers_retained() const {
+        std::lock_guard<std::mutex> lock(mutex_);
+        return free_.size();
+    }
+
+private:
+    mutable std::mutex mutex_;
+    std::vector<EdgeList> free_;
+    const u64 max_retained_;
+    u64 recycled_  = 0;
+    u64 allocated_ = 0;
+};
+
+} // namespace kagen::pe

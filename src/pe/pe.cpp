@@ -10,7 +10,13 @@
 #include <stdexcept>
 #include <thread>
 
+#ifdef __linux__
+#include <pthread.h>
+#include <sched.h>
+#endif
+
 #include "common/math.hpp"
+#include "pe/chunk_pool.hpp"
 #include "sink/sinks.hpp"
 #include "sink/spill.hpp"
 
@@ -35,6 +41,14 @@ struct StealRange {
 struct Job {
     const std::function<void(u64)>* fn = nullptr;
     std::vector<std::unique_ptr<StealRange>> ranges;
+    /// Affinity group size: steal split points prefer multiples of it, so
+    /// groups of adjacent tasks migrate between workers as a unit.
+    u64 granularity = 1;
+    /// Task index of the first full group boundary: group starts sit at
+    /// task == phase (mod granularity). Nonzero when the caller's task 0
+    /// maps to an absolute id that is not group-aligned — a distributed
+    /// rank whose chunk_begin is not a multiple of the group size.
+    u64 grain_phase = 0;
     /// Participants that have left run_participant. The job owner may only
     /// reclaim the (stack-allocated) job once every participant has exited —
     /// "all tasks done" is not enough, late thieves still scan the ranges.
@@ -62,7 +76,8 @@ u64 pop_own(StealRange& r) {
 
 /// Steals the upper half of the victim's remaining range into `self`
 /// (which must be empty). Returns false if the victim had nothing.
-bool steal_from(StealRange& victim, StealRange& self) {
+bool steal_from(StealRange& victim, StealRange& self, u64 granularity,
+                u64 grain_phase) {
     // Lock order by address: both directions of stealing may race.
     StealRange* first  = &victim < &self ? &victim : &self;
     StealRange* second = &victim < &self ? &self : &victim;
@@ -71,7 +86,20 @@ bool steal_from(StealRange& victim, StealRange& self) {
     if (self.next < self.end) return true; // someone refilled us meanwhile
     const u64 remaining = victim.end - victim.next;
     if (remaining == 0) return false;
-    const u64 take = (remaining + 1) / 2;
+    u64 take = (remaining + 1) / 2;
+    if (granularity > 1) {
+        // Affinity-aware split: move the cut up to the next group boundary
+        // (group starts sit at phase mod granularity in task space, i.e.
+        // at absolute-id multiples of the group size) so whole groups of
+        // adjacent tasks change hands; keep the raw half when the victim's
+        // tail is sub-group.
+        const u64 cut  = victim.end - take;
+        const u64 past = (cut + granularity - grain_phase) % granularity;
+        const u64 aligned = past == 0 ? cut : cut + (granularity - past);
+        if (aligned > victim.next && aligned < victim.end) {
+            take = victim.end - aligned;
+        }
+    }
     self.next  = victim.end - take;
     self.end   = victim.end;
     victim.end = victim.end - take;
@@ -96,7 +124,10 @@ void run_participant(Job& job, u64 self) {
                 }
             }
             if (best == kNoTask) return; // no work anywhere: done
-            if (!steal_from(*job.ranges[best], mine)) continue;
+            if (!steal_from(*job.ranges[best], mine, job.granularity,
+                            job.grain_phase)) {
+                continue;
+            }
             task = pop_own(mine);
             if (task == kNoTask) continue;
         }
@@ -131,6 +162,8 @@ struct ThreadPool::Impl {
     u64 participants = 0;        // participants of the published job
     u64 generation   = 0;
     bool stop        = false;
+    bool pinned      = false;    // pin_workers already ran (idempotence)
+    u64 pinned_count = 0;
 
     void worker_loop(u64 index) {
         u64 seen = 0;
@@ -186,7 +219,8 @@ ThreadPool::~ThreadPool() {
 u64 ThreadPool::num_threads() const { return impl_->workers.size() + 1; }
 
 void ThreadPool::parallel_for(u64 num_tasks, u64 max_workers,
-                              const std::function<void(u64)>& fn) {
+                              const std::function<void(u64)>& fn,
+                              u64 deal_granularity, u64 deal_phase) {
     if (num_tasks == 0) return;
     u64 participants = num_threads();
     if (max_workers != 0) participants = std::min(participants, max_workers);
@@ -199,12 +233,27 @@ void ThreadPool::parallel_for(u64 num_tasks, u64 max_workers,
     std::lock_guard<std::mutex> submit_lock(impl_->submit_m);
 
     Job job;
-    job.fn = &fn;
+    job.fn          = &fn;
+    job.granularity = std::max<u64>(deal_granularity, 1);
+    job.grain_phase = job.granularity > 1 ? deal_phase % job.granularity : 0;
     job.ranges.reserve(participants);
+    // Initial deal: contiguous equal-count blocks, with interior boundaries
+    // rounded down to the previous affinity-group start (task == phase mod
+    // granularity) so a group of adjacent tasks never starts split across
+    // two participants. Rounding down is monotone, so the boundaries still
+    // partition [0, num_tasks); any imbalance it introduces (at most one
+    // group per boundary) is repaid by stealing.
+    auto boundary = [&](u64 p) {
+        const u64 b = block_begin(num_tasks, participants, p);
+        if (p == 0 || p == participants || job.granularity <= 1) return b;
+        const u64 past =
+            (b + job.granularity - job.grain_phase) % job.granularity;
+        return b >= past ? b - past : b; // keep b when no group start precedes
+    };
     for (u64 p = 0; p < participants; ++p) {
         auto range  = std::make_unique<StealRange>();
-        range->next = block_begin(num_tasks, participants, p);
-        range->end  = block_begin(num_tasks, participants, p + 1);
+        range->next = boundary(p);
+        range->end  = boundary(p + 1);
         job.ranges.push_back(std::move(range));
     }
 
@@ -231,6 +280,32 @@ void ThreadPool::parallel_for(u64 num_tasks, u64 max_workers,
         impl_->participants = 0;
     }
     if (job.error) std::rethrow_exception(job.error);
+}
+
+u64 ThreadPool::pin_workers() {
+#ifdef __linux__
+    std::lock_guard<std::mutex> lock(impl_->m);
+    if (impl_->pinned) return impl_->pinned_count;
+    impl_->pinned = true;
+    const u64 hw  = std::max<u64>(std::thread::hardware_concurrency(), 1);
+    u64 pinned    = 0;
+    for (u64 i = 0; i < impl_->workers.size(); ++i) {
+        cpu_set_t set;
+        CPU_ZERO(&set);
+        // Worker i takes CPU (i+1) mod hw: CPU 0 stays with the calling
+        // participant, and on pools wider than the machine the assignment
+        // wraps (oversubscribed workers share cores either way).
+        CPU_SET(static_cast<int>((i + 1) % hw), &set);
+        if (pthread_setaffinity_np(impl_->workers[i].native_handle(),
+                                   sizeof(set), &set) == 0) {
+            ++pinned;
+        }
+    }
+    impl_->pinned_count = pinned;
+    return pinned;
+#else
+    return 0;
+#endif
 }
 
 ThreadPool& ThreadPool::global() {
@@ -323,8 +398,10 @@ private:
 class OrderedDelivery {
 public:
     OrderedDelivery(u64 num_chunks, u64 max_buffered_bytes,
-                    const std::string& spill_path, EdgeSink& sink)
-        : slots_(num_chunks), budget_(max_buffered_bytes), sink_(sink) {
+                    const std::string& spill_path, EdgeSink& sink,
+                    ChunkBufferPool& pool)
+        : slots_(num_chunks), budget_(max_buffered_bytes), pool_(pool),
+          sink_(sink) {
         // The spill file is only ever touched in bounded mode; create it
         // eagerly so producers never race on lazy construction.
         if (budget_ != 0) {
@@ -355,7 +432,8 @@ public:
             auto parked = std::make_unique<spill::SpillSink>(*spill_);
             parked->deliver(edges.data(), edges.size());
             parked->finish();
-            EdgeList().swap(edges); // release before re-locking
+            pool_.release(std::move(edges)); // hand back before re-locking
+                                             // (bounded mode: pool frees)
             lock.lock();
             slot.spilled = std::move(parked);
             slot.state   = Slot::State::spilled;
@@ -401,7 +479,10 @@ private:
                     const u64 bytes = edges.size() * sizeof(Edge);
                     lock.unlock();
                     sink_.deliver(edges.data(), edges.size());
-                    EdgeList().swap(edges); // release before re-locking
+                    // Recycle instead of freeing: the next chunk a producer
+                    // acquires appends into this capacity with zero
+                    // reallocations (DESIGN.md §9). Outside the lock.
+                    pool_.release(std::move(edges));
                     lock.lock();
                     resident_bytes_ -= bytes;
                 } else {
@@ -440,6 +521,7 @@ private:
     u64 spilled_chunks_ = 0;
     u64 spilled_bytes_  = 0;
     std::unique_ptr<spill::SpillFile> spill_;
+    ChunkBufferPool& pool_;
     EdgeSink& sink_;
 };
 
@@ -467,6 +549,16 @@ ChunkRunStats run_chunked(const ChunkOptions& opt, const ChunkFn& fn, EdgeSink& 
     workers = std::max<u64>(workers, 1);
     ThreadPool& pool = opt.pool != nullptr ? *opt.pool : ThreadPool::global();
 
+    if (opt.pin_threads) pool.pin_workers();
+    const u64 granularity = std::max<u64>(opt.deal_granularity, 1);
+    // Group boundaries live at *absolute* chunk-id multiples of the group
+    // size (that is where the geometric models' Morton blocks start); a
+    // subrange run whose `begin` is mid-group (a distributed rank with
+    // chunk_begin % granularity != 0) must shift the task-space alignment
+    // accordingly or every "group" would straddle two real blocks.
+    const u64 grain_phase =
+        granularity > 1 ? (granularity - begin % granularity) % granularity : 0;
+
     ChunkRunStats stats;
     stats.num_chunks = span;
     stats.workers    = std::min<u64>({workers, std::max<u64>(span, 1), pool.num_threads()});
@@ -479,26 +571,48 @@ ChunkRunStats run_chunked(const ChunkOptions& opt, const ChunkFn& fn, EdgeSink& 
             ForwardingSink forward(sink);
             fn(begin + task, num_chunks, forward);
             forward.flush();
-        });
+        }, granularity, grain_phase);
+    } else if (stats.workers <= 1) {
+        // Direct streaming (DESIGN.md §9): a single participant visits the
+        // chunks in canonical order, so ordered delivery is automatic and
+        // no chunk ever materializes — the generator emits straight into
+        // the target sink's own inline buffer (no forwarding facade, no
+        // chunk buffers, zero extra copies) and the memory bound holds
+        // trivially. The closing flush guarantees every emitted edge has
+        // reached consume() by return, whether or not `fn` flushed.
+        for (u64 task = 0; task < span; ++task) {
+            fn(begin + task, num_chunks, sink);
+        }
+        sink.flush();
     } else {
-        // Ordered sink: chunks materialize into per-chunk payloads which a
-        // single designated drainer hands over in canonical chunk order —
-        // the output stream is bit-identical to a sequential run, for any
-        // worker count and any steal schedule. Sink and spill I/O happen
-        // outside the bookkeeping lock, and chunks completing more than
-        // `max_buffered_bytes` ahead of the cursor park on disk, so peak
-        // memory is budget + one chunk instead of O(completion skew).
+        // Ordered sink, parallel run: chunks materialize into pool-recycled
+        // payload buffers which a single designated drainer hands over in
+        // canonical chunk order — the output stream is bit-identical to a
+        // sequential run, for any worker count and any steal schedule. Sink
+        // and spill I/O happen outside the bookkeeping lock, and chunks
+        // completing more than `max_buffered_bytes` ahead of the cursor
+        // park on disk, so peak memory is budget + one chunk instead of
+        // O(completion skew). Buffer recycling is only enabled in unbounded
+        // mode: a retained buffer's capacity is resident memory the budget
+        // accounting cannot see, and the strict bound wins in bounded mode
+        // (chunk_pool.hpp).
+        ChunkBufferPool buffers(opt.max_buffered_bytes == 0 ? stats.workers + 1
+                                                            : 0);
         OrderedDelivery delivery(span, opt.max_buffered_bytes,
-                                 opt.spill_path, sink);
+                                 opt.spill_path, sink, buffers);
         pool.parallel_for(span, workers, [&](u64 task) {
-            MemorySink local;
+            EdgeList buf = buffers.acquire();
+            MemorySink local(&buf);
             fn(begin + task, num_chunks, local);
-            delivery.complete(task, local.take());
-        });
+            local.flush();
+            delivery.complete(task, std::move(buf));
+        }, granularity, grain_phase);
         assert(delivery.delivered_chunks() == span);
         stats.peak_buffered_bytes = delivery.peak_buffered_bytes();
         stats.spilled_chunks      = delivery.spilled_chunks();
         stats.spilled_bytes       = delivery.spilled_bytes();
+        stats.buffers_recycled    = buffers.buffers_recycled();
+        stats.buffers_allocated   = buffers.buffers_allocated();
     }
     const auto stop = std::chrono::steady_clock::now();
     stats.seconds   = std::chrono::duration<double>(stop - start).count();

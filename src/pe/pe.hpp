@@ -71,7 +71,27 @@ public:
     /// Executes fn(task) for every task in [0, num_tasks), using at most
     /// `max_workers` participants (0 = all). Returns when every task has
     /// completed. Deterministic per task; completion order is not.
-    void parallel_for(u64 num_tasks, u64 max_workers, const std::function<void(u64)>& fn);
+    ///
+    /// `deal_granularity` > 1 aligns the initial per-participant range
+    /// boundaries (and steal split points, where possible) to groups of
+    /// that many consecutive tasks, so groups of adjacent tasks stay on one
+    /// participant — the affinity knob the chunked engine uses to keep a
+    /// simulated PE's Morton-contiguous chunk block on one worker (see
+    /// ChunkOptions::deal_granularity). `deal_phase` shifts the group grid:
+    /// group starts sit at task == deal_phase (mod deal_granularity), for
+    /// callers whose task 0 maps to a mid-group absolute id (a distributed
+    /// rank's chunk subrange). Work stealing still rebalances, so the
+    /// alignment never costs makespan beyond one group.
+    void parallel_for(u64 num_tasks, u64 max_workers, const std::function<void(u64)>& fn,
+                      u64 deal_granularity = 1, u64 deal_phase = 0);
+
+    /// Pins each worker thread to a distinct CPU (round-robin over the
+    /// hardware set, leaving CPU 0 to the calling participant). Idempotent;
+    /// returns the number of workers pinned (0 when unsupported). Opt-in
+    /// via ChunkOptions::pin_threads — pinning helps once chunk→worker
+    /// affinity matters (stolen ranges stop migrating between cores) and is
+    /// a no-op burden otherwise, so it is never the default.
+    u64 pin_workers();
 
     /// Lazily constructed process-wide pool (hardware_concurrency threads).
     static ThreadPool& global();
@@ -117,6 +137,22 @@ struct ChunkOptions {
     /// byte for byte, with zero communication.
     u64 chunk_begin = 0;
     u64 chunk_end   = 0;
+
+    /// Pin pool workers to distinct CPUs before the run (see
+    /// ThreadPool::pin_workers). Opt-in; pinning a pool is sticky for the
+    /// pool's lifetime.
+    bool pin_threads = false;
+
+    /// Affinity-aware deal: align the initial chunk→worker ranges (and
+    /// steal splits) to groups of this many consecutive chunks. The
+    /// geometric models map consecutive chunk ids to contiguous Morton cell
+    /// ranges, so a granularity of K = chunks_per_pe keeps each simulated
+    /// PE's spatially compact chunk block on one worker — adjacent chunks
+    /// share split-tree ancestry and halo cells, so the worker's caches
+    /// stay warm across its whole block (ROADMAP "NUMA / affinity"). 0/1 =
+    /// plain equal-count deal. Scheduling only: the output stream is
+    /// byte-identical for every value.
+    u64 deal_granularity = 1;
 };
 
 /// Generator body of one logical chunk: stream chunk `chunk` of
@@ -128,21 +164,31 @@ struct ChunkRunStats {
     u64 workers    = 0;    ///< parallel participants used
     double seconds = 0.0;  ///< wall clock of the parallel section (makespan)
 
-    // Ordered-delivery accounting (all zero for unordered sinks).
+    // Ordered-delivery accounting (all zero for unordered sinks and for
+    // single-worker runs, which stream chunks straight into the sink with
+    // no chunk buffers at all — DESIGN.md §9).
     u64 peak_buffered_bytes = 0; ///< max resident chunk-buffer bytes
                                  ///< (parked + in-flight) at any instant
     u64 spilled_chunks = 0;      ///< chunks parked on disk
     u64 spilled_bytes  = 0;      ///< edge bytes written to the spill file
+
+    // Chunk-buffer pool accounting (multi-worker ordered runs only).
+    u64 buffers_recycled  = 0; ///< chunk buffers reused from the pool
+    u64 buffers_allocated = 0; ///< chunk buffers freshly allocated
 };
 
 /// Runs every canonical chunk through `fn` and streams the results into
 /// `sink`. Ordered sinks receive chunks in canonical order (bit-identical
-/// output for any thread count): completed chunks park in RAM — or, past
-/// `max_buffered_bytes`, on disk — and a single designated drainer streams
-/// the contiguous ready prefix into the sink *outside* the bookkeeping
-/// lock, so producers never stall on sink I/O. Unordered sinks
-/// (`ordered() == false`) get concurrent delivery with O(buffer) memory
-/// per worker. The caller is responsible for `sink.finish()`.
+/// output for any thread count). With one effective worker the engine
+/// streams each chunk *directly* into the sink — canonical order is
+/// automatic, so no chunk is ever materialized (zero chunk buffers, zero
+/// copies; DESIGN.md §9). With several workers, completed chunks park in
+/// recycled pool buffers in RAM — or, past `max_buffered_bytes`, on disk —
+/// and a single designated drainer streams the contiguous ready prefix
+/// into the sink *outside* the bookkeeping lock, so producers never stall
+/// on sink I/O. Unordered sinks (`ordered() == false`) get concurrent
+/// delivery with O(buffer) memory per worker. The caller is responsible
+/// for `sink.finish()`.
 ChunkRunStats run_chunked(const ChunkOptions& opt, const ChunkFn& fn, EdgeSink& sink);
 
 } // namespace kagen::pe

@@ -13,8 +13,17 @@
 ///                           distribution, and per-subtree hash seeds make
 ///                           every PE that walks the same subtree draw the
 ///                           same variates — no communication required.
+///
+/// The per-sample callbacks are template parameters, not std::function:
+/// every sample of every generator funnels through `emit`, and a type-erased
+/// indirect call per edge is exactly the kind of per-edge overhead the
+/// hot-path work (DESIGN.md §9) eliminates. With a template parameter the
+/// decode-and-emit lambdas of the callers inline into the skip loop. The
+/// variate sequence is untouched — outputs are bit-identical.
 #pragma once
 
+#include <cassert>
+#include <cmath>
 #include <functional>
 #include <vector>
 
@@ -27,15 +36,129 @@ namespace kagen {
 /// Floyd's algorithm: k distinct integers from [0, universe), unsorted.
 std::vector<u64> floyd_sample(Rng& rng, u64 universe, u64 k);
 
+namespace detail {
+
+/// Vitter's Method A: sequential scan with direct skip search. O(universe)
+/// but with tiny constants; used when the sampling fraction is high.
+template <typename Emit>
+void method_a(Rng& rng, u64 universe, u64 k, u64 offset, Emit&& emit) {
+    u64 cur      = 0;
+    double nreal = static_cast<double>(universe);
+    while (k >= 2) {
+        const double v = rng.uniform_pos();
+        u64 skip       = 0;
+        double top     = nreal - static_cast<double>(k);
+        double quot    = top / nreal;
+        while (quot > v) {
+            ++skip;
+            top -= 1.0;
+            nreal -= 1.0;
+            quot *= top / nreal;
+        }
+        emit(offset + cur + skip);
+        cur += skip + 1;
+        nreal -= 1.0;
+        --k;
+    }
+    if (k == 1) {
+        const u64 skip = std::min<u64>(static_cast<u64>(nreal * rng.uniform()),
+                                       static_cast<u64>(nreal) - 1);
+        emit(offset + cur + skip);
+    }
+}
+
+} // namespace detail
+
 /// Sequential sampling of `k` distinct integers from [0, universe), emitted
 /// in increasing order through `emit`. Uses Vitter's Method D (skip
 /// distances via acceptance-rejection) and falls back to Method A when the
 /// sampling fraction is high. Expected time O(k) regardless of universe.
-void sorted_sample(Rng& rng, u64 universe, u64 k, const std::function<void(u64)>& emit);
+template <typename Emit>
+void sorted_sample(Rng& rng, u64 universe, u64 k, Emit&& emit) {
+    assert(k <= universe);
+    if (k == 0) return;
+    if (k == universe) {
+        for (u64 i = 0; i < universe; ++i) emit(i);
+        return;
+    }
+
+    // Vitter's Method D with fallback to Method A for dense draws.
+    constexpr double kAlphaInv = 13.0; // Vitter's recommended switch point
+    u64 offset       = 0;              // universe positions already consumed
+    u64 cur          = 0;
+    u64 remaining_n  = universe;
+    u64 remaining_k  = k;
+    double nreal     = static_cast<double>(remaining_n);
+    double kreal     = static_cast<double>(remaining_k);
+    double kinv      = 1.0 / kreal;
+    double vprime    = std::exp(std::log(rng.uniform_pos()) * kinv);
+    double threshold = kAlphaInv * kreal;
+
+    while (remaining_k > 1 && threshold < nreal) {
+        const double kmin1inv = 1.0 / (kreal - 1.0);
+        const double qu1real  = nreal - kreal + 1.0;
+        const u64 qu1         = remaining_n - remaining_k + 1;
+        u64 skip;
+        double x, negSreal;
+        for (;;) {
+            // Step D2: propose a skip from the continuous approximation.
+            for (;;) {
+                x    = nreal * (1.0 - vprime);
+                skip = static_cast<u64>(x);
+                if (skip < qu1) break;
+                vprime = std::exp(std::log(rng.uniform_pos()) * kinv);
+            }
+            const double u = rng.uniform_pos();
+            negSreal       = -static_cast<double>(skip);
+            // Step D3: quick acceptance.
+            const double y1 = std::exp(std::log(u * nreal / qu1real) * kmin1inv);
+            vprime          = y1 * (-x / nreal + 1.0) * (qu1real / (negSreal + qu1real));
+            if (vprime <= 1.0) break;
+            // Step D4: slow acceptance via the exact ratio.
+            double y2  = 1.0;
+            double top = nreal - 1.0;
+            double bottom;
+            double limit;
+            if (kreal - 1.0 > -negSreal) {
+                bottom = nreal - kreal;
+                limit  = nreal - static_cast<double>(skip);
+            } else {
+                bottom = nreal + negSreal - 1.0;
+                limit  = qu1real;
+            }
+            for (double t = nreal - 1.0; t >= limit; t -= 1.0) {
+                y2 = y2 * top / bottom;
+                top -= 1.0;
+                bottom -= 1.0;
+            }
+            if (nreal / (nreal - x) >= y1 * std::exp(std::log(y2) * kmin1inv)) {
+                vprime = std::exp(std::log(rng.uniform_pos()) * kmin1inv);
+                break;
+            }
+            vprime = std::exp(std::log(rng.uniform_pos()) * kinv);
+        }
+        emit(offset + cur + skip);
+        cur += skip + 1;
+        remaining_n -= skip + 1;
+        nreal = negSreal + (nreal - 1.0);
+        --remaining_k;
+        kreal -= 1.0;
+        kinv = kmin1inv;
+        threshold -= kAlphaInv;
+    }
+
+    if (remaining_k > 1) {
+        detail::method_a(rng, remaining_n, remaining_k, offset + cur, emit);
+    } else {
+        const u64 skip = std::min<u64>(static_cast<u64>(nreal * vprime), remaining_n - 1);
+        emit(offset + cur + skip);
+    }
+}
 
 /// Describes a universe partitioned into `num_chunks` consecutive chunks.
 /// `chunk_size(i)` must be O(1); prefix sizes are derived by the sampler's
-/// recursion, never by scanning.
+/// recursion, never by scanning. (These run once per chunk, not per sample,
+/// so type erasure is harmless here.)
 struct ChunkUniverse {
     u64 num_chunks = 0;
     std::function<u128(u64)> chunk_size;              // size of chunk i
@@ -60,7 +183,15 @@ public:
 
     /// Emits the samples of chunk `chunk` as offsets *within* the chunk,
     /// in increasing order. Deterministic in `seed`.
-    void sample_chunk(u64 chunk, const std::function<void(u64)>& emit) const;
+    template <typename Emit>
+    void sample_chunk(u64 chunk, Emit&& emit) const {
+        const u64 k = descend(chunk);
+        if (k == 0) return;
+        const u128 size = universe_.chunk_size(chunk);
+        assert(size <= static_cast<u128>(~u64{0}) && "per-chunk universe must fit 64 bits");
+        Rng rng = Rng::for_ids(seed_, {0x1eafULL, chunk});
+        sorted_sample(rng, static_cast<u64>(size), k, emit);
+    }
 
 private:
     /// Recursion over chunk index ranges; returns the sample count of the

@@ -8,12 +8,15 @@
 /// consumption: the same generator loop can fill a vector (`MemorySink`),
 /// count edges (`CountingSink`), accumulate a degree histogram without ever
 /// storing an edge (`DegreeStatsSink`), or stream to disk in the
-/// `graph/io` binary format (`BinaryFileSink`). See DESIGN.md §4.
+/// `graph/io` binary format (`BinaryFileSink`). See DESIGN.md §4 and §9.
 ///
 /// Emission goes through a small inline buffer, so the virtual `consume`
-/// dispatch is amortized over `kBufferEdges` edges — generator inner loops
+/// dispatch is amortized over the buffer capacity — generator inner loops
 /// pay one predictable branch per edge, which benches show is within noise
-/// of direct `std::vector::push_back`.
+/// of direct `std::vector::push_back`. The capacity is constructor-tunable
+/// (kagen_tool: `-sink-buffer-edges`); the default of 4096 edges (64 KiB
+/// batches) measured within noise of 1024 on the bulk-write path while
+/// quartering the number of virtual dispatches — see EXPERIMENTS.md.
 ///
 /// Threading contract: a sink instance is single-writer. The chunked
 /// execution engine (pe/pe.hpp) gives each worker a private buffer and
@@ -21,8 +24,8 @@
 /// (`ordered() == false`) must make `consume` thread-safe themselves.
 #pragma once
 
-#include <array>
 #include <cstddef>
+#include <memory>
 
 #include "common/types.hpp"
 
@@ -30,13 +33,16 @@ namespace kagen {
 
 class EdgeSink {
 public:
+    /// Default inline-buffer capacity in edges (see the file comment).
+    static constexpr std::size_t kDefaultBufferEdges = 4096;
+
     virtual ~EdgeSink() = default;
 
     /// Emits one edge. Inline fast path; flushes to `consume` when the
     /// buffer fills.
     void emit(VertexId u, VertexId v) {
         buffer_[fill_++] = Edge{u, v};
-        if (fill_ == kBufferEdges) flush();
+        if (fill_ == capacity_) flush();
     }
 
     void emit(const Edge& e) { emit(e.first, e.second); }
@@ -44,7 +50,7 @@ public:
     /// Drains the inline buffer into `consume`. Idempotent.
     void flush() {
         if (fill_ == 0) return;
-        consume(buffer_.data(), fill_);
+        consume(buffer_.get(), fill_);
         fill_ = 0;
     }
 
@@ -65,16 +71,23 @@ public:
     /// consumption with O(buffer) memory.
     virtual bool ordered() const { return true; }
 
+    /// Inline-buffer capacity this sink was constructed with.
+    std::size_t buffer_capacity() const { return capacity_; }
+
 protected:
+    /// \param buffer_edges inline-buffer capacity; 0 selects the default.
+    explicit EdgeSink(std::size_t buffer_edges = kDefaultBufferEdges)
+        : capacity_(buffer_edges != 0 ? buffer_edges : kDefaultBufferEdges),
+          buffer_(new Edge[capacity_]) {}
+
     /// Receives a batch of edges; count >= 1 (buffered emits arrive in
-    /// batches of at most kBufferEdges, `deliver` passes batches through
-    /// unchanged).
+    /// batches of at most `buffer_capacity()`, `deliver` passes batches
+    /// through unchanged — so whole chunks arrive as one call).
     virtual void consume(const Edge* edges, std::size_t count) = 0;
 
-    static constexpr std::size_t kBufferEdges = 1024;
-
 private:
-    std::array<Edge, kBufferEdges> buffer_;
+    std::size_t capacity_;
+    std::unique_ptr<Edge[]> buffer_;
     std::size_t fill_ = 0;
 };
 

@@ -1,0 +1,304 @@
+// Hot-path scheduling + buffer recycling (DESIGN.md §9): ChunkBufferPool
+// units, recycled multi-worker ordered delivery (byte-identical to
+// sequential, recycling engaged, disabled in bounded-memory mode),
+// affinity-aware deal granularity (every task exactly once, group-aligned
+// initial deal, identical output), and worker pinning.
+// ctest label: pool (re-run under ASan in CI).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <fstream>
+#include <vector>
+
+#include "kagen.hpp"
+#include "pe/chunk_pool.hpp"
+#include "pe/pe.hpp"
+#include "sink/sinks.hpp"
+
+namespace kagen {
+namespace {
+
+EdgeList some_edges(u64 count, u64 salt = 0) {
+    EdgeList edges;
+    edges.reserve(count);
+    for (u64 i = 0; i < count; ++i) {
+        edges.emplace_back((i * 7 + salt) % 101, (i * 31 + salt * 13 + 5) % 97);
+    }
+    return edges;
+}
+
+// ---------------------------------------------------------------------------
+// ChunkBufferPool units
+// ---------------------------------------------------------------------------
+
+TEST(ChunkBufferPool, RecyclesCapacityAndCountsHits) {
+    pe::ChunkBufferPool pool(4);
+
+    EdgeList a = pool.acquire();
+    EXPECT_EQ(pool.buffers_allocated(), 1u);
+    EXPECT_EQ(pool.buffers_recycled(), 0u);
+
+    a.resize(1000);
+    const Edge* data            = a.data();
+    const std::size_t capacity  = a.capacity();
+    pool.release(std::move(a));
+    EXPECT_EQ(pool.buffers_retained(), 1u);
+
+    EdgeList b = pool.acquire();
+    EXPECT_EQ(pool.buffers_recycled(), 1u);
+    EXPECT_EQ(pool.buffers_allocated(), 1u);
+    // The recycled buffer is empty but keeps its allocation: appending up
+    // to the old capacity must not reallocate.
+    EXPECT_TRUE(b.empty());
+    EXPECT_EQ(b.capacity(), capacity);
+    b.resize(1000);
+    EXPECT_EQ(b.data(), data);
+}
+
+TEST(ChunkBufferPool, RetentionCapFreesExcessBuffers) {
+    pe::ChunkBufferPool pool(2);
+    std::vector<EdgeList> bufs;
+    for (int i = 0; i < 5; ++i) {
+        EdgeList b = pool.acquire();
+        b.resize(16);
+        bufs.push_back(std::move(b));
+    }
+    for (auto& b : bufs) pool.release(std::move(b));
+    EXPECT_EQ(pool.buffers_retained(), 2u) << "cap must bound the free list";
+}
+
+TEST(ChunkBufferPool, ZeroRetentionDisablesRecycling) {
+    pe::ChunkBufferPool pool(0);
+    EdgeList a = pool.acquire();
+    a.resize(8);
+    pool.release(std::move(a));
+    EXPECT_EQ(pool.buffers_retained(), 0u);
+    EdgeList b = pool.acquire();
+    EXPECT_EQ(pool.buffers_recycled(), 0u);
+    EXPECT_EQ(pool.buffers_allocated(), 2u);
+    pool.release(std::move(b)); // empty: dropped either way
+}
+
+TEST(ChunkBufferPool, EmptyBuffersAreNotRetained) {
+    pe::ChunkBufferPool pool(4);
+    pool.release(EdgeList{}); // capacity 0: nothing worth keeping
+    EXPECT_EQ(pool.buffers_retained(), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Recycled ordered delivery through pe::run_chunked
+// ---------------------------------------------------------------------------
+
+pe::ChunkFn chunk_fn() {
+    return [](u64 chunk, u64 /*num_chunks*/, EdgeSink& sink) {
+        for (const auto& e : some_edges(200 + (chunk * 53) % 300, chunk)) {
+            sink.emit(e);
+        }
+    };
+}
+
+TEST(RecycledDelivery, MultiWorkerOutputMatchesSequentialAndRecycles) {
+    constexpr u64 kChunks = 24;
+    pe::ThreadPool pool(3);
+
+    MemorySink ref_sink;
+    pe::ChunkOptions seq;
+    seq.num_pes      = kChunks;
+    seq.total_chunks = kChunks;
+    seq.threads      = 1;
+    seq.pool         = &pool;
+    pe::run_chunked(seq, chunk_fn(), ref_sink);
+    const EdgeList reference = ref_sink.take();
+
+    // Whoever delivers chunk 0 releases its buffer before acquiring one for
+    // its next chunk, so a run recycles unless that participant happened to
+    // execute no further chunk — a steal schedule so extreme that three
+    // attempts hitting it in a row indicates a real regression.
+    u64 recycled = 0;
+    for (int attempt = 0; attempt < 3 && recycled == 0; ++attempt) {
+        pe::ChunkOptions opt = seq;
+        opt.threads          = 4;
+        MemorySink sink;
+        const auto stats = pe::run_chunked(opt, chunk_fn(), sink);
+        EXPECT_EQ(sink.take(), reference);
+        EXPECT_EQ(stats.buffers_recycled + stats.buffers_allocated, kChunks)
+            << "every chunk acquires exactly one buffer";
+        recycled = stats.buffers_recycled;
+    }
+    EXPECT_GT(recycled, 0u) << "pool never recycled a buffer";
+}
+
+TEST(RecycledDelivery, BoundedMemoryModeDisablesRecycling) {
+    // A retained buffer's capacity would be resident memory the spill
+    // window cannot account for, so bounded runs must not recycle.
+    constexpr u64 kChunks = 16;
+    pe::ThreadPool pool(3);
+
+    pe::ChunkOptions opt;
+    opt.num_pes            = kChunks;
+    opt.total_chunks       = kChunks;
+    opt.threads            = 4;
+    opt.pool               = &pool;
+    opt.max_buffered_bytes = 64;
+
+    MemorySink ref_sink;
+    pe::ChunkOptions seq = opt;
+    seq.threads          = 1;
+    seq.max_buffered_bytes = 0;
+    pe::run_chunked(seq, chunk_fn(), ref_sink);
+
+    MemorySink sink;
+    const auto stats = pe::run_chunked(opt, chunk_fn(), sink);
+    EXPECT_EQ(sink.take(), ref_sink.take());
+    EXPECT_EQ(stats.buffers_recycled, 0u);
+    EXPECT_EQ(stats.buffers_allocated, kChunks);
+}
+
+TEST(RecycledDelivery, SingleWorkerStreamsWithoutChunkBuffers) {
+    // workers == 1 takes the direct-streaming path: no chunk buffers at
+    // all, so both pool counters and the buffered-bytes peak stay zero.
+    pe::ThreadPool pool(3);
+    pe::ChunkOptions opt;
+    opt.num_pes      = 8;
+    opt.total_chunks = 8;
+    opt.threads      = 1;
+    opt.pool         = &pool;
+    MemorySink sink;
+    const auto stats = pe::run_chunked(opt, chunk_fn(), sink);
+    EXPECT_EQ(stats.workers, 1u);
+    EXPECT_EQ(stats.buffers_recycled, 0u);
+    EXPECT_EQ(stats.buffers_allocated, 0u);
+    EXPECT_EQ(stats.peak_buffered_bytes, 0u);
+    EXPECT_EQ(sink.edges().size(), [&] {
+        u64 total = 0;
+        for (u64 c = 0; c < 8; ++c) total += 200 + (c * 53) % 300;
+        return total;
+    }());
+}
+
+// ---------------------------------------------------------------------------
+// Affinity-aware deal granularity
+// ---------------------------------------------------------------------------
+
+TEST(AffinityDeal, EveryTaskRunsExactlyOnceForAnyGranularityAndPhase) {
+    pe::ThreadPool pool(3);
+    for (const u64 tasks : {u64{1}, u64{7}, u64{24}, u64{100}}) {
+        for (const u64 granularity : {u64{0}, u64{1}, u64{3}, u64{4}, u64{64}}) {
+            for (const u64 phase : {u64{0}, u64{1}, u64{2}}) {
+                std::vector<std::atomic<u64>> hits(tasks);
+                for (auto& h : hits) h.store(0);
+                pool.parallel_for(
+                    tasks, 0, [&](u64 t) { hits[t].fetch_add(1); }, granularity,
+                    phase);
+                for (u64 t = 0; t < tasks; ++t) {
+                    EXPECT_EQ(hits[t].load(), 1u)
+                        << "task " << t << " tasks=" << tasks
+                        << " granularity=" << granularity << " phase=" << phase;
+                }
+            }
+        }
+    }
+}
+
+TEST(AffinityDeal, SubrangeRunsAnchorGroupsToAbsoluteChunkIds) {
+    // A distributed rank's chunk subrange may start mid-group; the engine
+    // must shift the task-space group grid so groups still align to
+    // absolute chunk-id multiples of the granularity — and the output is
+    // the exact slice either way.
+    constexpr u64 kChunks = 30;
+    pe::ThreadPool pool(3);
+
+    MemorySink ref_sink;
+    pe::ChunkOptions seq;
+    seq.num_pes      = kChunks;
+    seq.total_chunks = kChunks;
+    seq.threads      = 1;
+    seq.pool         = &pool;
+    seq.chunk_begin  = 5; // not a multiple of the granularity below
+    seq.chunk_end    = 29;
+    pe::run_chunked(seq, chunk_fn(), ref_sink);
+
+    pe::ChunkOptions opt = seq;
+    opt.threads          = 4;
+    opt.deal_granularity = 4;
+    MemorySink sink;
+    pe::run_chunked(opt, chunk_fn(), sink);
+    EXPECT_EQ(sink.take(), ref_sink.take());
+}
+
+TEST(AffinityDeal, GranularityPreservesOrderedOutput) {
+    constexpr u64 kChunks = 30;
+    pe::ThreadPool pool(3);
+
+    MemorySink ref_sink;
+    pe::ChunkOptions seq;
+    seq.num_pes      = kChunks;
+    seq.total_chunks = kChunks;
+    seq.threads      = 1;
+    seq.pool         = &pool;
+    pe::run_chunked(seq, chunk_fn(), ref_sink);
+    const EdgeList reference = ref_sink.take();
+
+    for (const u64 granularity : {u64{2}, u64{5}, u64{30}}) {
+        pe::ChunkOptions opt  = seq;
+        opt.threads           = 4;
+        opt.deal_granularity  = granularity;
+        MemorySink sink;
+        pe::run_chunked(opt, chunk_fn(), sink);
+        EXPECT_EQ(sink.take(), reference) << "granularity=" << granularity;
+    }
+}
+
+TEST(AffinityDeal, GeometricModelsRequestChunkGroupDeal) {
+    Config cfg;
+    cfg.model         = Model::Rgg2D;
+    cfg.chunks_per_pe = 4;
+    EXPECT_EQ(chunk_deal_granularity(cfg), 4u);
+    cfg.model = Model::Rdg3D;
+    EXPECT_EQ(chunk_deal_granularity(cfg), 4u);
+    cfg.model = Model::GnmDirected;
+    EXPECT_EQ(chunk_deal_granularity(cfg), 1u)
+        << "non-spatial models keep the plain deal";
+    cfg.model         = Model::Rgg3D;
+    cfg.chunks_per_pe = 0;
+    EXPECT_EQ(chunk_deal_granularity(cfg), 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Worker pinning
+// ---------------------------------------------------------------------------
+
+TEST(PinWorkers, PinsOnceAndKeepsResultsCorrect) {
+    pe::ThreadPool pool(3);
+    const u64 pinned = pool.pin_workers();
+#ifdef __linux__
+    EXPECT_EQ(pinned, 3u);
+#endif
+    EXPECT_EQ(pool.pin_workers(), pinned) << "pin_workers must be idempotent";
+
+    std::vector<std::atomic<u64>> hits(50);
+    for (auto& h : hits) h.store(0);
+    pool.parallel_for(50, 0, [&](u64 t) { hits[t].fetch_add(1); });
+    for (u64 t = 0; t < 50; ++t) EXPECT_EQ(hits[t].load(), 1u);
+}
+
+TEST(PinWorkers, PinnedChunkedRunMatchesUnpinned) {
+    Config cfg;
+    cfg.model         = Model::GnmUndirected;
+    cfg.n             = 500;
+    cfg.m             = 2500;
+    cfg.seed          = 11;
+    cfg.chunks_per_pe = 3;
+
+    MemorySink plain;
+    generate_chunked(cfg, 4, plain);
+
+    cfg.pin_threads = true;
+    pe::ThreadPool pool(3); // private pool: pinning the global one is sticky
+    MemorySink pinned;
+    generate_chunked(cfg, 4, pinned, /*threads=*/4, &pool);
+    EXPECT_EQ(pinned.take(), plain.take());
+}
+
+} // namespace
+} // namespace kagen
