@@ -5,9 +5,15 @@
 //   * binomial variates: inversion (small mean) vs BTRS rejection,
 //   * hypergeometric variates: inversion vs HRUA rejection,
 //   * hash-seeded Mersenne Twister construction (what one recursion-node
-//     reseed costs — why seeds are drawn per subtree, not per sample).
+//     reseed costs — why seeds are drawn per subtree, not per sample),
+//   * the sampler-v2 engine pieces (PR 6): fused bulk Exp(1) fill vs the
+//     two-pass refill, and sorted_sample v1 vs v2 on the headline chunk
+//     shape — the ablation behind the >= 2x Gnm headline claim.
 #include "bench_common.hpp"
 #include "prng/rng.hpp"
+#include "sampling/sampling.hpp"
+#include "variates/batch.hpp"
+#include "variates/exp_fill.hpp"
 #include "variates/variates.hpp"
 
 namespace {
@@ -67,16 +73,98 @@ void HashSeededRngConstruction(benchmark::State& state) {
     state.SetItemsProcessed(state.iterations());
 }
 
+void ExpFill_TwoPassTableLog(benchmark::State& state) {
+    // The pre-fusion refill: bulk uniforms, then scalar -fast_log per
+    // element (the table gather blocks vectorization of the second pass).
+    constexpr std::size_t kBlock = 256;
+    alignas(64) double buf[kBlock];
+    Rng rng(1);
+    double acc = 0.0;
+    for (auto _ : state) {
+        rng.fill_uniform_pos(buf, kBlock);
+        for (std::size_t i = 0; i < kBlock; ++i) buf[i] = -fast_log(buf[i]);
+        acc += buf[17];
+    }
+    benchmark::DoNotOptimize(acc);
+    state.SetItemsProcessed(state.iterations() * kBlock);
+}
+
+void ExpFill_FusedBranchless(benchmark::State& state) {
+    // variates/exp_fill.hpp: counter -> mix -> uniform -> -log in one
+    // vectorizable pass (AVX-512 clone where available).
+    constexpr std::size_t kBlock = 256;
+    alignas(64) double buf[kBlock];
+    Rng rng(1);
+    double acc = 0.0;
+    for (auto _ : state) {
+        fill_exponential(rng, buf, kBlock);
+        acc += buf[17];
+    }
+    benchmark::DoNotOptimize(acc);
+    state.SetItemsProcessed(state.iterations() * kBlock);
+}
+
+// One chunk of the Gnm headline workload (PerCoreThroughput's shape):
+// universe/k ~ 16384, the sparse Method-D regime both engines target.
+constexpr u64 kChunkUniverse = u64{16384} * 262143;
+constexpr u64 kChunkK        = 262144;
+
+void SortedSample_V1(benchmark::State& state) {
+    Rng rng(7);
+    u64 acc = 0;
+    for (auto _ : state) {
+        sorted_sample(rng, kChunkUniverse, kChunkK, [&](u64 s) { acc += s; },
+                      SamplerVersion::v1);
+    }
+    benchmark::DoNotOptimize(acc);
+    state.SetItemsProcessed(state.iterations() * kChunkK);
+}
+
+void SortedSample_V2(benchmark::State& state) {
+    Rng rng(7);
+    u64 acc = 0;
+    for (auto _ : state) {
+        sorted_sample(rng, kChunkUniverse, kChunkK, [&](u64 s) { acc += s; },
+                      SamplerVersion::v2);
+    }
+    benchmark::DoNotOptimize(acc);
+    state.SetItemsProcessed(state.iterations() * kChunkK);
+}
+
+void BernoulliSample_V2(benchmark::State& state) {
+    // The Gnp fast path: geometric skips at the headline density p = 1/16384.
+    Rng rng(7);
+    u64 acc = 0, emitted = 0;
+    const double p = 1.0 / 16384.0;
+    for (auto _ : state) {
+        bernoulli_sample(rng, kChunkUniverse, p, [&](u64 s) {
+            acc += s;
+            ++emitted;
+        });
+    }
+    benchmark::DoNotOptimize(acc);
+    state.SetItemsProcessed(static_cast<int64_t>(emitted));
+}
+
 BENCHMARK(Uniform64)->MinTime(0.2)->MinWarmUpTime(0.05);
 BENCHMARK(Binomial_SmallMean_Inversion)->MinTime(0.2)->MinWarmUpTime(0.05);
 BENCHMARK(Binomial_LargeMean_BTRS)->MinTime(0.2)->MinWarmUpTime(0.05);
 BENCHMARK(Hypergeometric_Small_Inversion)->MinTime(0.2)->MinWarmUpTime(0.05);
 BENCHMARK(Hypergeometric_Large_HRUA)->MinTime(0.2)->MinWarmUpTime(0.05);
 BENCHMARK(HashSeededRngConstruction)->MinTime(0.2)->MinWarmUpTime(0.05);
+BENCHMARK(ExpFill_TwoPassTableLog)->MinTime(0.2)->MinWarmUpTime(0.05);
+BENCHMARK(ExpFill_FusedBranchless)->MinTime(0.2)->MinWarmUpTime(0.05);
+BENCHMARK(SortedSample_V1)->MinTime(0.5)->MinWarmUpTime(0.1)->Unit(benchmark::kMillisecond);
+BENCHMARK(SortedSample_V2)->MinTime(0.5)->MinWarmUpTime(0.1)->Unit(benchmark::kMillisecond);
+BENCHMARK(BernoulliSample_V2)->MinTime(0.5)->MinWarmUpTime(0.1)->Unit(benchmark::kMillisecond);
 
 } // namespace
 
 KAGEN_BENCH_MAIN(
     "# Ablation (paper §8.6.1) — cost of random variates.\n"
     "# Orders the primitives the generators' O(#variates) arguments rest "
-    "on; note the MT construction cost vs a single uniform.")
+    "on; note the MT construction cost vs a single uniform.\n"
+    "# PR 6 adds the sampler-engine ablation: fused vs two-pass Exp(1) "
+    "refill, and sorted_sample v1 vs v2 (plus the Gnp geometric-skip path) "
+    "on the headline chunk shape — items/s is samples/s, so the v2/v1 "
+    "ratio here is the sampler-only speedup behind the Gnm headline.")

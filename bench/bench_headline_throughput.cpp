@@ -51,6 +51,51 @@ BENCHMARK(PerCoreThroughput)
     ->Iterations(2)
     ->Unit(benchmark::kMillisecond);
 
+void SamplerVersionSpeedup(benchmark::State& state) {
+    // The PR-6 tentpole claim: sampler v2 (batched variates + branch-light
+    // Method D, DESIGN.md §10) delivers >= 2x edges/s on the directed
+    // G(n,m) headline. v1 and v2 runs are interleaved within every
+    // iteration so frequency drift and cache state hit both engines
+    // equally; the ratio counter, not either absolute time, is the claim.
+    const u64 pes = 16;
+
+    Config cfg;
+    cfg.model = Model::GnmDirected;
+    cfg.n     = (u64{1} << 22) / 16;
+    cfg.m     = u64{1} << 22;
+    cfg.seed  = 1;
+
+    {
+        CountingSink warmup;
+        generate_chunked(cfg, pes, warmup);
+    }
+    double t_v1 = 0.0, t_v2 = 0.0;
+    u64 edges = 0;
+    for (auto _ : state) {
+        cfg.sampler_version = SamplerVersion::v1;
+        CountingSink s1;
+        t_v1 = generate_chunked(cfg, pes, s1).seconds;
+
+        cfg.sampler_version = SamplerVersion::v2;
+        CountingSink s2;
+        t_v2  = generate_chunked(cfg, pes, s2).seconds;
+        edges = s2.num_edges();
+        state.SetIterationTime(t_v1 + t_v2);
+    }
+    state.counters["PEs"]            = static_cast<double>(pes);
+    state.counters["edges"]          = static_cast<double>(edges);
+    state.counters["makespan_v1_s"]  = t_v1;
+    state.counters["makespan_v2_s"]  = t_v2;
+    state.counters["Medges/s_v1"]    = static_cast<double>(edges) / t_v1 / 1e6;
+    state.counters["Medges/s_v2"]    = static_cast<double>(edges) / t_v2 / 1e6;
+    state.counters["speedup_v2_over_v1"] = t_v1 / t_v2;
+}
+
+BENCHMARK(SamplerVersionSpeedup)
+    ->UseManualTime()
+    ->Iterations(3)
+    ->Unit(benchmark::kMillisecond);
+
 void ChunkingSpeedup(benchmark::State& state) {
     const u64 K = static_cast<u64>(state.range(0));
     const u64 P = std::max<u64>(2, std::thread::hardware_concurrency());
@@ -275,5 +320,8 @@ KAGEN_BENCH_MAIN(
     "memory bound holding, spilled_* what it cost. (5) File-sink "
     "throughput: the PR-5 hot-path headline — directed G(n,m) edges/s "
     "from generation to disk (bulk batched writes, recycled buffers, "
-    "direct streaming); EXPERIMENTS.md records the before/after and "
-    "BENCH_5.json pins the baseline CI diffs against.")
+    "direct streaming). (6) Sampler-version speedup: the PR-6 headline — "
+    "interleaved v1/v2 runs of the directed G(n,m) instance; "
+    "speedup_v2_over_v1 >= 2 is the tentpole claim. EXPERIMENTS.md "
+    "records the before/after and BENCH_6.json pins the baseline CI "
+    "diffs against.")

@@ -17,7 +17,7 @@ endif()
 
 # Every flag the tool parses, plus the subsystem group headers.
 set(EXPECTED_FLAGS
-    -n -m -p -r -d -g -s
+    -n -m -p -r -d -g -s -sampler
     -rank -size -o
     -sink -pes -chunks-per-pe -chunks -edge-semantics
     -sink-buffer-edges -pin-threads

@@ -47,6 +47,9 @@ void print_help(std::FILE* out, const char* argv0) {
         "  -d D        average degree (rhg*) / attachment degree (ba)\n"
         "  -g G        power-law exponent gamma (rhg*)\n"
         "  -s S        seed (default 1)\n"
+        "  -sampler V  v1 (default; bit-pinned reference sampler) | v2\n"
+        "              (batched-variate throughput engine; same distribution,\n"
+        "              different byte stream; ER family)\n"
         "\n"
         "Per-PE path (default; text output):\n"
         "  -rank R     generate only rank R (default 0)\n"
@@ -320,6 +323,14 @@ int main(int argc, char** argv) {
                                  cfg.ba_degree = std::strtoull(val, nullptr, 10); }
         else if (flag == "-g") cfg.gamma = std::strtod(val, nullptr);
         else if (flag == "-s") cfg.seed = std::strtoull(val, nullptr, 10);
+        else if (flag == "-sampler") {
+            if (std::strcmp(val, "v1") == 0) cfg.sampler_version = SamplerVersion::v1;
+            else if (std::strcmp(val, "v2") == 0) cfg.sampler_version = SamplerVersion::v2;
+            else {
+                std::fprintf(stderr, "unknown sampler '%s' (v1|v2)\n", val);
+                return 2;
+            }
+        }
         else if (flag == "-rank") rank = std::strtoull(val, nullptr, 10);
         else if (flag == "-size") size = std::strtoull(val, nullptr, 10);
         else if (flag == "-o") out_path = val;

@@ -76,15 +76,17 @@ private:
 void emit_directed(u64 row_begin, SortedRowDecoder& rows, u64 offset, EdgeSink& out) {
     const auto [r, c] = rows.decode(offset);
     const u64 row     = row_begin + r;
-    u64 col           = c;
-    if (col >= row) ++col; // skip the diagonal slot
+    // Branchless diagonal skip (SNIPPETS.md idiom): col >= row is an
+    // unpredictable comparison in the dense regime, so fold it into an add.
+    const u64 col = c + (c >= row ? 1 : 0);
     out.emit(row, col);
 }
 
 /// --- Undirected chunk materialization ------------------------------------
 
 /// Diagonal chunk (i, i): a triangular universe over the block's vertices.
-void emit_diagonal_chunk(const Blocks& blocks, u64 i, u64 count, u64 seed, EdgeSink& out) {
+void emit_diagonal_chunk(const Blocks& blocks, u64 i, u64 count, u64 seed, EdgeSink& out,
+                         SamplerVersion version) {
     const u64 base  = blocks.begin(i);
     const u64 sz    = blocks.size(i);
     const u128 uni  = triangle(sz);
@@ -95,11 +97,12 @@ void emit_diagonal_chunk(const Blocks& blocks, u64 i, u64 count, u64 seed, EdgeS
         const u64 r = triangle_row(s);
         const u64 c = s - static_cast<u64>(triangle(r));
         out.emit(base + r, base + c);
-    });
+    }, version);
 }
 
 /// Off-diagonal chunk (i, j), i > j: a |V_i| x |V_j| rectangular universe.
-void emit_rect_chunk(const Blocks& blocks, u64 i, u64 j, u64 count, u64 seed, EdgeSink& out) {
+void emit_rect_chunk(const Blocks& blocks, u64 i, u64 j, u64 count, u64 seed, EdgeSink& out,
+                     SamplerVersion version) {
     if (count == 0) return;
     const u64 rbase = blocks.begin(i);
     const u64 cbase = blocks.begin(j);
@@ -111,14 +114,15 @@ void emit_rect_chunk(const Blocks& blocks, u64 i, u64 j, u64 count, u64 seed, Ed
     sorted_sample(rng, static_cast<u64>(uni), count, [&](u64 s) {
         const auto [r, c] = rows.decode(s);
         out.emit(rbase + r, cbase + c);
-    });
+    }, version);
 }
 
-void emit_chunk(const Blocks& blocks, u64 i, u64 j, u64 count, u64 seed, EdgeSink& out) {
+void emit_chunk(const Blocks& blocks, u64 i, u64 j, u64 count, u64 seed, EdgeSink& out,
+                SamplerVersion version) {
     if (i == j) {
-        emit_diagonal_chunk(blocks, i, count, seed, out);
+        emit_diagonal_chunk(blocks, i, count, seed, out, version);
     } else {
-        emit_rect_chunk(blocks, i, j, count, seed, out);
+        emit_rect_chunk(blocks, i, j, count, seed, out, version);
     }
 }
 
@@ -129,6 +133,7 @@ struct UTri {
     u64 seed;
     u64 pe;        // the chunk row/column this PE owns
     EdgeSink* out;
+    SamplerVersion version;
 };
 
 /// Rectangle of chunks rows [rlo, rhi) x cols [clo, chi); the PE needs either
@@ -139,7 +144,7 @@ void descend_rect(const UTri& ctx, u64 rlo, u64 rhi, u64 clo, u64 chi, u64 k) {
     const bool in_cols = ctx.pe >= clo && ctx.pe < chi;
     if (!in_rows && !in_cols) return;
     if (rhi - rlo == 1 && chi - clo == 1) {
-        emit_chunk(ctx.blocks, rlo, clo, k, ctx.seed, *ctx.out);
+        emit_chunk(ctx.blocks, rlo, clo, k, ctx.seed, *ctx.out, ctx.version);
         return;
     }
     const u128 total = static_cast<u128>(ctx.blocks.span(rlo, rhi)) * ctx.blocks.span(clo, chi);
@@ -164,7 +169,7 @@ void descend_rect(const UTri& ctx, u64 rlo, u64 rhi, u64 clo, u64 chi, u64 k) {
 void descend_triangle(const UTri& ctx, u64 lo, u64 hi, u64 k) {
     if (k == 0) return;
     if (hi - lo == 1) {
-        emit_chunk(ctx.blocks, lo, lo, k, ctx.seed, *ctx.out);
+        emit_chunk(ctx.blocks, lo, lo, k, ctx.seed, *ctx.out, ctx.version);
         return;
     }
     const u64 mid     = lo + (hi - lo) / 2;
@@ -182,42 +187,48 @@ void descend_triangle(const UTri& ctx, u64 lo, u64 hi, u64 k) {
 
 } // namespace
 
-void gnm_directed(u64 n, u64 m, u64 seed, u64 rank, u64 size, EdgeSink& sink) {
+void gnm_directed(u64 n, u64 m, u64 seed, u64 rank, u64 size, EdgeSink& sink,
+                  SamplerVersion version) {
     assert(n >= 2 && size >= 1 && rank < size);
     assert(static_cast<u128>(m) <= directed_universe(n));
     ChunkedSampler sampler(seed, make_row_universe(n, size, n - 1), m);
     const u64 row_begin = block_begin(n, size, rank);
     SortedRowDecoder rows(n - 1);
     sampler.sample_chunk(
-        rank, [&](u64 offset) { emit_directed(row_begin, rows, offset, sink); });
+        rank, [&](u64 offset) { emit_directed(row_begin, rows, offset, sink); },
+        version);
     sink.flush();
 }
 
-EdgeList gnm_directed(u64 n, u64 m, u64 seed, u64 rank, u64 size) {
+EdgeList gnm_directed(u64 n, u64 m, u64 seed, u64 rank, u64 size,
+                      SamplerVersion version) {
     MemorySink sink;
-    gnm_directed(n, m, seed, rank, size, sink);
+    gnm_directed(n, m, seed, rank, size, sink, version);
     return sink.take();
 }
 
-void gnm_undirected(u64 n, u64 m, u64 seed, u64 rank, u64 size, EdgeSink& sink) {
+void gnm_undirected(u64 n, u64 m, u64 seed, u64 rank, u64 size, EdgeSink& sink,
+                    SamplerVersion version) {
     assert(n >= 2 && size >= 1 && rank < size);
     assert(static_cast<u128>(m) <= undirected_universe(n));
-    UTri ctx{Blocks{n, size}, seed, rank, &sink};
+    UTri ctx{Blocks{n, size}, seed, rank, &sink, version};
     descend_triangle(ctx, 0, size, m);
     sink.flush();
 }
 
-EdgeList gnm_undirected(u64 n, u64 m, u64 seed, u64 rank, u64 size) {
+EdgeList gnm_undirected(u64 n, u64 m, u64 seed, u64 rank, u64 size,
+                        SamplerVersion version) {
     MemorySink sink;
-    gnm_undirected(n, m, seed, rank, size, sink);
+    gnm_undirected(n, m, seed, rank, size, sink, version);
     return sink.take();
 }
 
-EdgeList gnm_undirected_chunk(u64 n, u64 m, u64 seed, u64 size, u64 i, u64 j) {
+EdgeList gnm_undirected_chunk(u64 n, u64 m, u64 seed, u64 size, u64 i, u64 j,
+                              SamplerVersion version) {
     assert(i >= j && i < size);
     // Run the full recursion as PE i would, then keep only chunk (i, j)'s
     // edges. (Cheap at test scale; exercises the identical code path.)
-    EdgeList all = gnm_undirected(n, m, seed, i, size);
+    EdgeList all = gnm_undirected(n, m, seed, i, size, version);
     const Blocks blocks{n, size};
     EdgeList chunk;
     for (const auto& [u, v] : all) {
@@ -228,29 +239,76 @@ EdgeList gnm_undirected_chunk(u64 n, u64 m, u64 seed, u64 size, u64 i, u64 j) {
     return chunk;
 }
 
-void gnp_directed(u64 n, double p, u64 seed, u64 rank, u64 size, EdgeSink& sink) {
+void gnp_directed(u64 n, double p, u64 seed, u64 rank, u64 size, EdgeSink& sink,
+                  SamplerVersion version) {
     assert(n >= 2 && size >= 1 && rank < size);
     const u64 row_begin = block_begin(n, size, rank);
     const u128 universe = static_cast<u128>(block_size(n, size, rank)) * (n - 1);
     assert(universe <= static_cast<u128>(~u64{0}));
+    SortedRowDecoder rows(n - 1);
+    if (version == SamplerVersion::v2) {
+        // Geometric-skip fast path: the binomial count + sorted positions of
+        // v1 and a single Bernoulli(p) sweep over the universe induce the
+        // same product distribution, so v2 fuses them into one stream — no
+        // count variate, one exponential per edge.
+        Rng rng = Rng::for_ids(seed, {kTagChunk, rank});
+        bernoulli_sample(rng, static_cast<u64>(universe), p, [&](u64 offset) {
+            emit_directed(row_begin, rows, offset, sink);
+        });
+        sink.flush();
+        return;
+    }
     Rng count_rng   = Rng::for_ids(seed, {kTagGnp, rank});
     const u64 count = binomial(count_rng, static_cast<u64>(universe), p);
     Rng rng = Rng::for_ids(seed, {kTagChunk, rank});
-    SortedRowDecoder rows(n - 1);
     sorted_sample(rng, static_cast<u64>(universe), count,
                   [&](u64 offset) { emit_directed(row_begin, rows, offset, sink); });
     sink.flush();
 }
 
-EdgeList gnp_directed(u64 n, double p, u64 seed, u64 rank, u64 size) {
+EdgeList gnp_directed(u64 n, double p, u64 seed, u64 rank, u64 size,
+                      SamplerVersion version) {
     MemorySink sink;
-    gnp_directed(n, p, seed, rank, size, sink);
+    gnp_directed(n, p, seed, rank, size, sink, version);
     return sink.take();
 }
 
-void gnp_undirected(u64 n, double p, u64 seed, u64 rank, u64 size, EdgeSink& sink) {
+void gnp_undirected(u64 n, double p, u64 seed, u64 rank, u64 size, EdgeSink& sink,
+                    SamplerVersion version) {
     assert(n >= 2 && size >= 1 && rank < size);
     const Blocks blocks{n, size};
+    if (version == SamplerVersion::v2) {
+        // Per-chunk geometric-skip Bernoulli streams. The chunk rng is
+        // seeded exactly as v1's position stream ({kTagChunk, i, j}), so
+        // both owners of chunk (i, j) still draw identical edges — the
+        // exact-once ownership filter is untouched.
+        auto emit_bernoulli = [&](u64 i, u64 j) {
+            Rng rng = Rng::for_ids(seed, {kTagChunk, i, j});
+            if (i == j) {
+                const u64 base = blocks.begin(i);
+                bernoulli_sample(rng, static_cast<u64>(triangle(blocks.size(i))), p,
+                                 [&](u64 s) {
+                                     const u64 r = triangle_row(s);
+                                     const u64 c = s - static_cast<u64>(triangle(r));
+                                     sink.emit(base + r, base + c);
+                                 });
+            } else {
+                const u64 rbase = blocks.begin(i);
+                const u64 cbase = blocks.begin(j);
+                const u64 cols  = blocks.size(j);
+                const u128 uni  = static_cast<u128>(blocks.size(i)) * cols;
+                SortedRowDecoder rows(cols);
+                bernoulli_sample(rng, static_cast<u64>(uni), p, [&](u64 s) {
+                    const auto [r, c] = rows.decode(s);
+                    sink.emit(rbase + r, cbase + c);
+                });
+            }
+        };
+        for (u64 j = 0; j <= rank; ++j) emit_bernoulli(rank, j);
+        for (u64 i = rank + 1; i < size; ++i) emit_bernoulli(i, rank);
+        sink.flush();
+        return;
+    }
     auto chunk_count = [&](u64 i, u64 j) {
         const u128 uni = (i == j) ? triangle(blocks.size(i))
                                   : static_cast<u128>(blocks.size(i)) * blocks.size(j);
@@ -259,18 +317,21 @@ void gnp_undirected(u64 n, double p, u64 seed, u64 rank, u64 size, EdgeSink& sin
     };
     // Row chunks (rank, j <= rank) — edges whose higher endpoint is local.
     for (u64 j = 0; j <= rank; ++j) {
-        emit_chunk(blocks, rank, j, chunk_count(rank, j), seed, sink);
+        emit_chunk(blocks, rank, j, chunk_count(rank, j), seed, sink,
+                   SamplerVersion::v1);
     }
     // Column chunks (i > rank, rank) — edges whose lower endpoint is local.
     for (u64 i = rank + 1; i < size; ++i) {
-        emit_chunk(blocks, i, rank, chunk_count(i, rank), seed, sink);
+        emit_chunk(blocks, i, rank, chunk_count(i, rank), seed, sink,
+                   SamplerVersion::v1);
     }
     sink.flush();
 }
 
-EdgeList gnp_undirected(u64 n, double p, u64 seed, u64 rank, u64 size) {
+EdgeList gnp_undirected(u64 n, double p, u64 seed, u64 rank, u64 size,
+                        SamplerVersion version) {
     MemorySink sink;
-    gnp_undirected(n, p, seed, rank, size, sink);
+    gnp_undirected(n, p, seed, rank, size, sink, version);
     return sink.take();
 }
 

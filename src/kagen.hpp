@@ -115,6 +115,16 @@ struct Config {
     /// output is byte-identical to `generate_chunked` for every value.
     u64 num_processes = 1;
 
+    /// Sequential sampling engine (sampling/sampling.hpp) used inside the
+    /// ER family's chunks. v1 (default) is the bit-pinned reference stream
+    /// every golden file and byte-identity sweep locks; v2 trades byte
+    /// identity for throughput — batched variates, inline polynomial
+    /// log/exp, and a geometric-skip Bernoulli fast path for Gnp — while
+    /// keeping the same output *distribution* (tool: -sampler). Both keep
+    /// the pure-function-of-(cfg, rank, size) contract, so chunked /
+    /// distributed runs stay reproducible under either engine.
+    SamplerVersion sampler_version = SamplerVersion::v1;
+
     /// Edge-stream semantics (sink/ownership.hpp). `as_generated` keeps the
     /// paper's per-chunk redundancy: the incident-edge models (undirected
     /// ER/Gnp, RGG, RDG, in-memory RHG) emit every cross-chunk edge on both
@@ -243,16 +253,20 @@ namespace detail {
 inline void dispatch_generate(const Config& cfg, u64 rank, u64 size, EdgeSink& sink) {
     switch (cfg.model) {
         case Model::GnmDirected:
-            er::gnm_directed(cfg.n, cfg.m, cfg.seed, rank, size, sink);
+            er::gnm_directed(cfg.n, cfg.m, cfg.seed, rank, size, sink,
+                             cfg.sampler_version);
             break;
         case Model::GnmUndirected:
-            er::gnm_undirected(cfg.n, cfg.m, cfg.seed, rank, size, sink);
+            er::gnm_undirected(cfg.n, cfg.m, cfg.seed, rank, size, sink,
+                               cfg.sampler_version);
             break;
         case Model::GnpDirected:
-            er::gnp_directed(cfg.n, cfg.p, cfg.seed, rank, size, sink);
+            er::gnp_directed(cfg.n, cfg.p, cfg.seed, rank, size, sink,
+                             cfg.sampler_version);
             break;
         case Model::GnpUndirected:
-            er::gnp_undirected(cfg.n, cfg.p, cfg.seed, rank, size, sink);
+            er::gnp_undirected(cfg.n, cfg.p, cfg.seed, rank, size, sink,
+                               cfg.sampler_version);
             break;
         case Model::Rgg2D:
             rgg::generate<2>({cfg.n, cfg.r, cfg.seed}, rank, size, sink);

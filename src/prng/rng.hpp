@@ -13,6 +13,7 @@
 #pragma once
 
 #include <cassert>
+#include <cstddef>
 #include <initializer_list>
 
 #include "common/types.hpp"
@@ -35,11 +36,41 @@ public:
 
     /// 64 uniformly random bits (SplitMix64 step).
     u64 bits() {
-        state_ += 0x9e3779b97f4a7c15ULL;
+        state_ += kGamma;
         u64 z = state_;
         z     = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
         z     = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
         return z ^ (z >> 31);
+    }
+
+    /// Fills `out` with `n` draws, identical in sequence to `n` calls of
+    /// `bits()`. SplitMix64 is a pure mix of (state + i·gamma), so the loop
+    /// body carries no dependency between iterations and auto-vectorizes —
+    /// the amortization point of the batched-variate engine (sampler v2,
+    /// variates/batch.hpp).
+    void fill_bits(u64* out, std::size_t n) {
+        const u64 base = state_;
+        for (std::size_t i = 0; i < n; ++i) {
+            u64 z  = base + static_cast<u64>(i + 1) * kGamma;
+            z      = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+            z      = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+            out[i] = z ^ (z >> 31);
+        }
+        state_ = base + static_cast<u64>(n) * kGamma;
+    }
+
+    /// Fills `out` with `n` uniforms in (0, 1], identical in sequence to
+    /// `n` calls of `uniform_pos()`. Same vectorizable shape as fill_bits.
+    void fill_uniform_pos(double* out, std::size_t n) {
+        const u64 base = state_;
+        for (std::size_t i = 0; i < n; ++i) {
+            u64 z  = base + static_cast<u64>(i + 1) * kGamma;
+            z      = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+            z      = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+            z      = z ^ (z >> 31);
+            out[i] = 1.0 - static_cast<double>(z >> 11) * 0x1.0p-53;
+        }
+        state_ = base + static_cast<u64>(n) * kGamma;
     }
 
     /// Uniform integer in [0, bound), bound >= 1. Unbiased (rejection).
@@ -72,7 +103,31 @@ public:
     /// Uniform double in [lo, hi).
     double uniform(double lo, double hi) { return lo + (hi - lo) * uniform(); }
 
+    /// SplitMix64 output function: draw i of a block reserved at `base` is
+    /// `mix64(base + (i+1) * kStateGamma)`. Public so external bulk kernels
+    /// (variates/exp_fill.hpp) can regenerate draws from a reserved counter
+    /// range without round-tripping through an intermediate buffer.
+    static u64 mix64(u64 z) {
+        z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+        z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+        return z ^ (z >> 31);
+    }
+
+    /// Reserves the next `n` draws and returns the pre-advance state: the
+    /// caller owns draws mix64(base + (i+1)*kStateGamma) for i in [0, n).
+    /// Equivalent to n calls of bits() as far as this Rng is concerned.
+    u64 reserve_block(std::size_t n) {
+        const u64 base = state_;
+        state_         = base + static_cast<u64>(n) * kGamma;
+        return base;
+    }
+
+    /// Counter increment per draw; pairs with reserve_block()/mix64().
+    static constexpr u64 kStateGamma = 0x9e3779b97f4a7c15ULL;
+
 private:
+    static constexpr u64 kGamma = kStateGamma;
+
     u64 state_;
 };
 

@@ -1,0 +1,176 @@
+/// \file fast_math.hpp
+/// \brief Inline table/polynomial log & exp kernels for the v2 sampler.
+///
+/// The v1 skip loop's cost is not libm *throughput* — glibc's log/exp run
+/// at ~6 ns each here — it is the serial dependency chain of Vitter's
+/// reuse formulation, where each sample's transcendentals feed the next
+/// proposal. The v2 engine (sampling.hpp) breaks that chain by drawing
+/// variates from block-refilled buffers (variates/batch.hpp); what this
+/// header supplies are kernels cheap enough to fill those blocks and to
+/// sit on the short paths that remain:
+///
+///  * `fast_log`      — division-free table+polynomial log. 128-entry
+///                      reciprocal/log tables over the mantissa, residual
+///                      g in [0, 1/128) by one fma-shaped multiply, then a
+///                      degree-5 log1p series. No divide means the block
+///                      refill loop (-log over 256 uniforms) is pure
+///                      mul/add throughput. Absolute error < 1e-11.
+///  * `fast_exp`      — full-range exp: two-part ln2 reduction + degree-8
+///                      series + exponent-bit scaling. < 1e-9 relative.
+///  * `fast_exp_small`— degree-6 series for |r| <= kSmallExpRadius, no
+///                      range reduction at all (~2e-12 relative). This is
+///                      the Method-D common case: exponents are E/k with k
+///                      large, far inside the radius.
+///  * `fast_exp_tiny` — degree-3 series for |r| <= kTinyExpRadius, the
+///                      dominant case (exponents are E/k, k large).
+///  * `fast_exp_auto` — tiered radius tests: tiny, then small, then full.
+///                      The first branch is ~always-taken in the sparse
+///                      regime.
+///  * `neg_log1p`     — -log1p(-t) for t in [0, kNegLog1pMax], plain
+///                      series; evaluates log(n/(n-k+1)) without a second
+///                      table walk. < 1e-10 relative on its domain.
+///
+/// Accuracy contract: every kernel here is within ~1e-9 of the exact
+/// value over its stated domain (validated in tests/test_variates.cpp).
+/// That perturbs a Method-D acceptance threshold orders of magnitude
+/// below what any feasible statistical test can resolve; v2 makes no bit
+/// promise, so the contract is distributional (DESIGN.md §10).
+///
+/// Domain contract (asserted, not branched): fast_log needs a finite
+/// normal x > 0; fast_exp needs |x| <= 700. The sampler satisfies both by
+/// construction — uniforms are in [2^-53, 1], populations are positive.
+#pragma once
+
+#include <bit>
+#include <cassert>
+#include <cmath>
+
+#include "common/types.hpp"
+
+namespace kagen {
+
+/// Series radius of fast_exp_small and switch point of fast_exp_auto.
+inline constexpr double kSmallExpRadius = 0.0735;
+
+/// Radius of the degree-3 tier of fast_exp_auto: |r|^4/24 < 5e-10 relative.
+/// Method D's exponents are E/k with k in the thousands, so this tier is
+/// the ~always-taken one; the quartic tail is orders of magnitude below the
+/// distributional contract.
+inline constexpr double kTinyExpRadius = 0.01;
+
+/// Domain bound of neg_log1p; covers Method D's t = (k-1)/n < 1/13.
+inline constexpr double kNegLog1pMax = 0.08;
+
+namespace fastmath_detail {
+
+/// Mantissa tables: recip[j] ~ 1/(1 + j/128) and logm[j] = -log(recip[j]),
+/// so log(m) = logm[j] + log1p(m * recip[j] - 1) holds with the *rounded*
+/// reciprocal — table rounding cancels instead of accumulating.
+struct LogTables {
+    double recip[128];
+    double logm[128];
+};
+
+inline const LogTables kLogTables = [] {
+    LogTables t{};
+    for (int j = 0; j < 128; ++j) {
+        t.recip[j] = 1.0 / (1.0 + static_cast<double>(j) / 128.0);
+        t.logm[j]  = -std::log(t.recip[j]);
+    }
+    return t;
+}();
+
+} // namespace fastmath_detail
+
+/// log(x) for finite normal x > 0. Division-free: table + degree-5 series.
+inline double fast_log(double x) {
+    assert(x > 0x1.0p-1000 && x < 0x1.0p1000 && "fast_log domain");
+    const u64 bits = std::bit_cast<u64>(x);
+    const auto e   = static_cast<double>(static_cast<i64>(bits >> 52) - 1023);
+    const double m =
+        std::bit_cast<double>((bits & 0x000fffffffffffffULL) | 0x3ff0000000000000ULL);
+    const int j    = static_cast<int>((bits >> 45) & 0x7f);
+    const double g = m * fastmath_detail::kLogTables.recip[j] - 1.0; // [0, 1/128)
+    const double gg  = g * g;
+    // log1p(g) = g - g^2/2 + g^3/3 - g^4/4 + g^5/5 - ...; tail < 4e-14.
+    const double l1p = g - 0.5 * gg +
+                       gg * (g * (1.0 / 3.0) - gg * 0.25 + gg * g * 0.2);
+    constexpr double kLn2 = 6.93147180559945309417e-01;
+    return e * kLn2 + (fastmath_detail::kLogTables.logm[j] + l1p);
+}
+
+/// exp(x) for |x| <= 700 (well inside the normal range on both sides).
+inline double fast_exp(double x) {
+    assert(x > -700.0 && x < 700.0 && "fast_exp domain");
+    // Range-reduce x = k*ln2 + r, |r| <= ln2/2, with ln2 split in two so
+    // k*ln2 subtracts exactly; exp(r) by series; scale by 2^k in the
+    // exponent field.
+    constexpr double kLog2E  = 1.44269504088896340736;
+    constexpr double kLn2Hi  = 6.93147180369123816490e-01;
+    constexpr double kLn2Lo  = 1.90821492927058770002e-10;
+    const double kd = static_cast<double>(static_cast<i64>(
+        x * kLog2E + (x >= 0.0 ? 0.5 : -0.5)));
+    const double r  = (x - kd * kLn2Hi) - kd * kLn2Lo;
+    // Degree-8 series for exp(r), |r| <= 0.3466: tail < 3e-10 relative.
+    double p = 1.0 / 40320.0;
+    p        = p * r + 1.0 / 5040.0;
+    p        = p * r + 1.0 / 720.0;
+    p        = p * r + 1.0 / 120.0;
+    p        = p * r + 1.0 / 24.0;
+    p        = p * r + 1.0 / 6.0;
+    p        = p * r + 0.5;
+    p        = p * r + 1.0;
+    p        = p * r + 1.0;
+    const u64 scale = static_cast<u64>(static_cast<i64>(kd) + 1023) << 52;
+    return p * std::bit_cast<double>(scale);
+}
+
+/// exp(r) for |r| <= kSmallExpRadius: bare degree-6 series, no reduction,
+/// no scaling — the shortest latency path to U^(1/k) for large k.
+inline double fast_exp_small(double r) {
+    assert(r >= -kSmallExpRadius && r <= kSmallExpRadius && "fast_exp_small domain");
+    double p = 1.0 / 720.0;
+    p        = p * r + 1.0 / 120.0;
+    p        = p * r + 1.0 / 24.0;
+    p        = p * r + 1.0 / 6.0;
+    p        = p * r + 0.5;
+    p        = p * r + 1.0;
+    p        = p * r + 1.0;
+    return p;
+}
+
+/// exp(r) for |r| <= kTinyExpRadius: bare degree-3 series — the shortest
+/// chain for the dominant Method-D case where exponents are E/k, k large.
+inline double fast_exp_tiny(double r) {
+    assert(r >= -kTinyExpRadius && r <= kTinyExpRadius && "fast_exp_tiny domain");
+    return 1.0 + r * (1.0 + r * (0.5 + r * (1.0 / 6.0)));
+}
+
+/// exp(x): shortest series that covers |x|, full reduction as last resort.
+inline double fast_exp_auto(double x) {
+    if (x > -kTinyExpRadius && x < kTinyExpRadius) [[likely]] {
+        return fast_exp_tiny(x);
+    }
+    if (x > -kSmallExpRadius && x < kSmallExpRadius) {
+        return fast_exp_small(x);
+    }
+    return fast_exp(x);
+}
+
+/// -log1p(-t) = log(1/(1-t)) for t in [0, kNegLog1pMax]: plain series
+/// t + t^2/2 + ... + t^9/9; tail < 2e-11 relative at the domain edge.
+inline double neg_log1p(double t) {
+    assert(t >= 0.0 && t <= kNegLog1pMax && "neg_log1p domain");
+    double p = 1.0 / 9.0;
+    p        = p * t + 1.0 / 8.0;
+    p        = p * t + 1.0 / 7.0;
+    p        = p * t + 1.0 / 6.0;
+    p        = p * t + 0.2;
+    p        = p * t + 0.25;
+    p        = p * t + 1.0 / 3.0;
+    p        = p * t + 0.5;
+    p        = p * t + 1.0;
+    return p * t;
+}
+
+} // namespace kagen

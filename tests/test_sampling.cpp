@@ -1,7 +1,14 @@
 // Sampling without replacement: Floyd, Vitter (A + D), and the distributed
 // divide-and-conquer chunk sampler (uniformity, determinism, PE-consistency).
+// The SamplerV2* and BernoulliSample suites are the acceptance gate of the
+// v2 engine (DESIGN.md §10): v2 makes no byte promise, so these pin its
+// *distribution* — exact first-skip law (chi-square + KS), uniform
+// inclusion, hypergeometric split consistency, and the geometric gap law
+// of the Bernoulli fast path.
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <map>
 #include <set>
 
 #include "common/math.hpp"
@@ -119,6 +126,248 @@ TEST(SortedSampleStat, FirstElementDistribution) {
     const double p   = static_cast<double>(kK) / kUniverse;
     const double tol = 6 * std::sqrt(p * (1 - p) / kRuns);
     EXPECT_NEAR(static_cast<double>(zero_first) / kRuns, p, tol);
+}
+
+TEST_P(SortedSample, V2SortedDistinctInRange) {
+    const auto [universe, k] = GetParam();
+    Rng rng(7);
+    std::vector<u64> out;
+    sorted_sample(rng, universe, k, [&](u64 x) { out.push_back(x); },
+                  SamplerVersion::v2);
+    ASSERT_EQ(out.size(), k);
+    for (std::size_t i = 0; i < out.size(); ++i) {
+        EXPECT_LT(out[i], universe);
+        if (i > 0) {
+            EXPECT_LT(out[i - 1], out[i]); // strictly increasing
+        }
+    }
+}
+
+TEST(SamplerV2Stat, DeterministicGivenRngState) {
+    for (u64 seed : {u64{1}, u64{42}, u64{0xdeadULL}}) {
+        Rng a(seed), b(seed);
+        std::vector<u64> sa, sb;
+        sorted_sample(a, u64{1} << 24, 4096, [&](u64 x) { sa.push_back(x); },
+                      SamplerVersion::v2);
+        sorted_sample(b, u64{1} << 24, 4096, [&](u64 x) { sb.push_back(x); },
+                      SamplerVersion::v2);
+        EXPECT_EQ(sa, sb);
+    }
+}
+
+TEST(SamplerV2Stat, UniformInclusionSparse) {
+    // v2 Method D path: bucketed inclusion counts must be uniform — the
+    // same gate the v1 engine passes above.
+    Rng rng(11);
+    constexpr u64 kUniverse = 100000, kK = 500, kRuns = 800, kBuckets = 50;
+    std::vector<double> hits(kBuckets, 0.0);
+    for (u64 r = 0; r < kRuns; ++r) {
+        sorted_sample(rng, kUniverse, kK,
+                      [&](u64 x) { hits[x / (kUniverse / kBuckets)] += 1.0; },
+                      SamplerVersion::v2);
+    }
+    const std::vector<double> expected(
+        kBuckets, static_cast<double>(kRuns * kK) / kBuckets);
+    EXPECT_LT(testing::chi_square(hits, expected),
+              testing::chi_square_critical(kBuckets - 1));
+}
+
+// log C(a, b) via lgamma — exact reference for the skip laws below.
+double log_choose(double a, double b) {
+    return std::lgamma(a + 1) - std::lgamma(b + 1) - std::lgamma(a - b + 1);
+}
+
+TEST(SamplerV2Stat, MethodDFirstSkipChiSquare) {
+    // The first Method-D skip has the exact law
+    //   P(skip = s) = C(n-1-s, k-1) / C(n, k),   s in [0, n-k],
+    // which exercises the whole v2 acceptance pipeline (proposal from the
+    // batched exponentials, quick-accept kernels, lgamma D4). Any bias in
+    // the fast-math contractions would surface here scaled by ~sqrt(runs).
+    constexpr u64 kN = 4096, kK = 8, kRuns = 60000;
+    std::map<u64, u64> hist;
+    for (u64 r = 0; r < kRuns; ++r) {
+        Rng rng(r * 2654435761u + 17);
+        bool first = true;
+        sorted_sample(rng, kN, kK,
+                      [&](u64 x) {
+                          if (first) ++hist[x];
+                          first = false;
+                      },
+                      SamplerVersion::v2);
+    }
+    const double log_total = log_choose(kN, kK);
+    std::vector<double> pmf(kN - kK + 1);
+    for (u64 s = 0; s <= kN - kK; ++s) {
+        pmf[s] = std::exp(log_choose(kN - 1.0 - static_cast<double>(s), kK - 1.0) -
+                          log_total);
+    }
+    const auto r = testing::binned_chi_square(hist, pmf, 0, kRuns);
+    ASSERT_GT(r.df, 10.0);
+    EXPECT_LT(r.statistic, testing::chi_square_critical(r.df));
+}
+
+TEST(SamplerV2Stat, PositionsKSAgainstExactCdf) {
+    // Two KS gates on the Method-D regime:
+    //  (a) the first-position CDF, P(min <= s) = 1 - C(n-1-s, k)/C(n, k),
+    //      iid across runs — a sensitive tail test of the skip law;
+    //  (b) all emitted positions pooled vs the uniform marginal (each
+    //      element of a uniform k-subset is marginally uniform; the
+    //      within-run negative dependence only shrinks the statistic, so
+    //      the iid threshold is conservative).
+    constexpr u64 kN = u64{1} << 20, kK = 64, kRuns = 500;
+    std::vector<double> firsts;
+    std::vector<double> pooled;
+    for (u64 r = 0; r < kRuns; ++r) {
+        Rng rng(r * 40503u + 7);
+        bool first = true;
+        sorted_sample(rng, kN, kK,
+                      [&](u64 x) {
+                          if (first) firsts.push_back(static_cast<double>(x));
+                          first = false;
+                          pooled.push_back(static_cast<double>(x));
+                      },
+                      SamplerVersion::v2);
+    }
+    const double log_total = log_choose(static_cast<double>(kN), static_cast<double>(kK));
+    const auto first_cdf   = [&](double s) {
+        const double rest = static_cast<double>(kN) - 1.0 - std::floor(s);
+        if (rest < static_cast<double>(kK)) return 1.0;
+        return 1.0 - std::exp(log_choose(rest, static_cast<double>(kK)) - log_total);
+    };
+    EXPECT_LT(testing::ks_statistic(firsts, first_cdf),
+              testing::ks_critical(firsts.size()));
+    const auto uniform_cdf = [&](double s) {
+        return (std::floor(s) + 1.0) / static_cast<double>(kN);
+    };
+    EXPECT_LT(testing::ks_statistic(pooled, uniform_cdf),
+              testing::ks_critical(pooled.size()));
+}
+
+TEST(SamplerV2Stat, HypergeometricSplitConsistency) {
+    // The ChunkedSampler count layer is engine-agnostic: v1 and v2 must
+    // agree exactly on how many samples each chunk receives (the split is
+    // decided before any within-chunk engine runs), and the v2 within-chunk
+    // output must be a valid sorted sample of the advertised size.
+    for (u64 chunks : {u64{2}, u64{5}, u64{16}}) {
+        const auto uni = make_row_universe(4096, chunks, 4095);
+        ChunkedSampler sampler(2024, uni, 60000);
+        u64 total = 0;
+        for (u64 c = 0; c < chunks; ++c) {
+            const u64 expect = sampler.samples_in_chunk(c);
+            total += expect;
+            std::vector<u64> v1_out, v2_out;
+            sampler.sample_chunk(c, [&](u64 x) { v1_out.push_back(x); },
+                                 SamplerVersion::v1);
+            sampler.sample_chunk(c, [&](u64 x) { v2_out.push_back(x); },
+                                 SamplerVersion::v2);
+            // Same count layer: identical sizes. Different engines:
+            // positions may differ, but both are sorted, distinct, in-range.
+            ASSERT_EQ(v1_out.size(), expect);
+            ASSERT_EQ(v2_out.size(), expect);
+            const u128 size = uni.chunk_size(c);
+            for (std::size_t i = 0; i < v2_out.size(); ++i) {
+                EXPECT_LT(static_cast<u128>(v2_out[i]), size);
+                if (i > 0) EXPECT_LT(v2_out[i - 1], v2_out[i]);
+            }
+        }
+        EXPECT_EQ(total, 60000u) << chunks << " chunks";
+    }
+}
+
+TEST(SamplerV2Stat, ChunkSplitIsHypergeometricUnderV2) {
+    // Statistical side of the split consistency: with two equal chunks the
+    // left count is Hypergeometric(N, N/2, m) regardless of engine; verify
+    // the *v2-sampled* chunk emits exactly that many samples run over run.
+    constexpr u64 kRuns = 2000;
+    constexpr u64 kM    = 64;
+    double sum = 0.0;
+    for (u64 seed = 0; seed < kRuns; ++seed) {
+        ChunkedSampler sampler(seed, make_row_universe(128, 2, 100), kM);
+        u64 emitted = 0;
+        sampler.sample_chunk(0, [&](u64) { ++emitted; }, SamplerVersion::v2);
+        EXPECT_EQ(emitted, sampler.samples_in_chunk(0));
+        sum += static_cast<double>(emitted);
+    }
+    const double mean = sum / kRuns;
+    const double tol  = 6 * std::sqrt(16.0 / kRuns);
+    EXPECT_NEAR(mean, kM / 2.0, tol);
+}
+
+TEST(BernoulliSample, EdgeCases) {
+    Rng rng(1);
+    u64 count = 0;
+    bernoulli_sample(rng, 0, 0.5, [&](u64) { ++count; });
+    EXPECT_EQ(count, 0u);
+    bernoulli_sample(rng, 100, 0.0, [&](u64) { ++count; });
+    EXPECT_EQ(count, 0u);
+    std::vector<u64> all;
+    bernoulli_sample(rng, 100, 1.0, [&](u64 x) { all.push_back(x); });
+    ASSERT_EQ(all.size(), 100u);
+    for (u64 i = 0; i < 100; ++i) EXPECT_EQ(all[i], i);
+}
+
+TEST(BernoulliSample, SortedDistinctInRangeAndDeterministic) {
+    Rng a(99), b(99);
+    std::vector<u64> sa, sb;
+    bernoulli_sample(a, u64{1} << 22, 0.001, [&](u64 x) { sa.push_back(x); });
+    bernoulli_sample(b, u64{1} << 22, 0.001, [&](u64 x) { sb.push_back(x); });
+    EXPECT_EQ(sa, sb);
+    ASSERT_FALSE(sa.empty());
+    for (std::size_t i = 0; i < sa.size(); ++i) {
+        EXPECT_LT(sa[i], u64{1} << 22);
+        if (i > 0) EXPECT_LT(sa[i - 1], sa[i]);
+    }
+}
+
+TEST(BernoulliSample, GapLawIsGeometric) {
+    // Successive gaps of the geometric-skip stream are iid with
+    // P(gap = s) = (1-p)^s * p — the defining property that makes the
+    // fast path *exactly* a Bernoulli(p) process and not an approximation.
+    Rng rng(7);
+    constexpr double kP     = 0.01;
+    constexpr u64 kUniverse = u64{1} << 24;
+    std::map<u64, u64> gaps;
+    u64 prev = 0, count = 0;
+    bool first = true;
+    bernoulli_sample(rng, kUniverse, kP, [&](u64 x) {
+        const u64 gap = first ? x : x - prev - 1;
+        first         = false;
+        prev          = x;
+        ++gaps[gap];
+        ++count;
+    });
+    ASSERT_GT(count, 100000u);
+    // Geometric pmf truncated where expected counts fall below ~1.
+    const std::size_t support = static_cast<std::size_t>(12.0 / kP);
+    std::vector<double> pmf(support);
+    for (std::size_t s = 0; s < support; ++s) {
+        pmf[s] = std::pow(1.0 - kP, static_cast<double>(s)) * kP;
+    }
+    const auto r = testing::binned_chi_square(gaps, pmf, 0, count);
+    ASSERT_GT(r.df, 20.0);
+    EXPECT_LT(r.statistic, testing::chi_square_critical(r.df));
+}
+
+TEST(BernoulliSample, CountMatchesBinomialMoments) {
+    // Number emitted over N slots ~ Binomial(N, p).
+    constexpr u64 kUniverse = 200000;
+    constexpr double kP     = 0.005;
+    constexpr u64 kRuns     = 500;
+    double sum = 0.0, sum_sq = 0.0;
+    for (u64 r = 0; r < kRuns; ++r) {
+        Rng rng(r * 7919u + 3);
+        u64 c = 0;
+        bernoulli_sample(rng, kUniverse, kP, [&](u64) { ++c; });
+        const double x = static_cast<double>(c);
+        sum += x;
+        sum_sq += x * x;
+    }
+    const double mean     = sum / kRuns;
+    const double var      = sum_sq / kRuns - mean * mean;
+    const double exp_mean = kUniverse * kP;
+    const double exp_var  = exp_mean * (1 - kP);
+    EXPECT_NEAR(mean, exp_mean, 6 * std::sqrt(exp_var / kRuns));
+    EXPECT_NEAR(var, exp_var, 0.25 * exp_var);
 }
 
 TEST(ChunkedSampler, CountsSumToTotal) {

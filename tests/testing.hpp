@@ -4,6 +4,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
 #include <map>
 #include <vector>
@@ -101,6 +102,31 @@ inline BinnedChiSquare binned_chi_square(const std::map<u64, u64>& histogram,
     out.statistic = chi_square(obs_bins, exp_bins);
     out.df        = static_cast<double>(obs_bins.size()) - 1.0;
     return out;
+}
+
+/// One-sample Kolmogorov–Smirnov statistic: sup |F_n(x) - F(x)| over the
+/// sample, with `cdf` the hypothesized CDF evaluated at each sample value.
+/// Samples need not be pre-sorted. For n iid samples the ~1e-4-significance
+/// threshold is ks_critical(n) (asymptotic K-distribution tail:
+/// c(alpha) / sqrt(n) with c(1e-4) ~ 2.08) — same rare-tail philosophy as
+/// chi_square_critical: fixed-seed tests never flake, real bugs exceed the
+/// threshold by orders of magnitude.
+template <typename Cdf>
+double ks_statistic(std::vector<double> samples, Cdf&& cdf) {
+    std::sort(samples.begin(), samples.end());
+    const double n = static_cast<double>(samples.size());
+    double stat    = 0.0;
+    for (std::size_t i = 0; i < samples.size(); ++i) {
+        const double f  = cdf(samples[i]);
+        const double lo = static_cast<double>(i) / n;
+        const double hi = static_cast<double>(i + 1) / n;
+        stat            = std::max({stat, f - lo, hi - f});
+    }
+    return stat;
+}
+
+inline double ks_critical(std::size_t n, double c = 2.08) {
+    return c / std::sqrt(static_cast<double>(n));
 }
 
 } // namespace kagen::testing
