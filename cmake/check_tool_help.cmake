@@ -24,6 +24,8 @@ set(EXPECTED_FLAGS
     -max-buffered-bytes -spill-path
     -dedup-out -sort-memory
     -ranks -threads-per-rank -keep-rank-files
+    -listen -connect -expect-workers -manifest -net-timeout -net-deadline
+    -worker -worker-scratch
     -help)
 set(EXPECTED_GROUPS
     "Model parameters"
@@ -32,7 +34,9 @@ set(EXPECTED_GROUPS
     "Hot path / affinity"
     "Ordered delivery / spill window"
     "External-memory dedup"
-    "Distributed backend")
+    "Distributed backend"
+    "Multi-node TCP backend"
+    "Worker mode")
 set(EXPECTED_MODELS
     gnm_directed gnm_undirected gnp_directed gnp_undirected
     rgg2d rgg3d rdg2d rdg3d rhg rhg_streaming ba rmat)

@@ -1,6 +1,6 @@
 // Command-line generator: the "library as a product" entry point.
 //
-// Three execution paths:
+// Four execution paths:
 //  * per-PE (default): writes one PE's edge list as text ("u v" per line),
 //    demonstrating that any rank's output can be produced in isolation —
 //    the paper's whole point.
@@ -17,16 +17,33 @@
 //    coordinator merges per-rank files/stats. Output is byte-identical to
 //    the single-process -sink run with the same -pes/-chunks-per-pe
 //    (DESIGN.md §8).
+//  * multi-node TCP backend (-listen/-connect ... -sink ..., workers run
+//    `kagen_tool -worker host:port`): the same decomposition and merge over
+//    sockets instead of fork+pipes, so the workers can live on other
+//    machines. Output is byte-identical to both paths above; `-manifest`
+//    instead of `-o` leaves each rank file on its worker's machine and
+//    writes a text manifest naming every piece (DESIGN.md §11).
+//
+// Every flag value is parsed strictly: non-numeric, trailing-garbage,
+// out-of-range, and valueless flags all exit 2 with a diagnostic instead of
+// silently running with a default ("-n banana" used to mean n=0).
 //
 // Run with -help for the full flag reference grouped by subsystem.
+#include <cctype>
+#include <cerrno>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <cmath>
+#include <climits>
 #include <string>
+#include <vector>
 
 #include "graph/em_sort.hpp"
 #include "graph/io.hpp"
 #include "kagen.hpp"
+#include "net/coordinator.hpp"
+#include "net/worker.hpp"
 
 using namespace kagen;
 
@@ -34,7 +51,7 @@ namespace {
 
 void print_help(std::FILE* out, const char* argv0) {
     std::fprintf(out,
-        "usage: %s <model> [flags]   (or: %s -help)\n"
+        "usage: %s <model> [flags]   (or: %s -worker host:port | %s -help)\n"
         "\n"
         "model: gnm_directed | gnm_undirected | gnp_directed | gnp_undirected |\n"
         "       rgg2d | rgg3d | rdg2d | rdg3d | rhg | rhg_streaming | ba | rmat\n"
@@ -44,7 +61,7 @@ void print_help(std::FILE* out, const char* argv0) {
         "  -m M        edges (gnm*/rmat; default 8n)\n"
         "  -p P        edge probability (gnp*)\n"
         "  -r R        radius (rgg*)\n"
-        "  -d D        average degree (rhg*) / attachment degree (ba)\n"
+        "  -d D        average degree (rhg*) / attachment degree (ba; integer)\n"
         "  -g G        power-law exponent gamma (rhg*)\n"
         "  -s S        seed (default 1)\n"
         "  -sampler V  v1 (default; bit-pinned reference sampler) | v2\n"
@@ -61,7 +78,7 @@ void print_help(std::FILE* out, const char* argv0) {
         "  -pes P      simulated PEs (default 4)\n"
         "  -chunks-per-pe K   logical chunks per PE (default 4)\n"
         "  -chunks C   pin the canonical chunk count (graph then independent\n"
-        "              of -pes / -chunks-per-pe / -ranks)\n"
+        "              of -pes / -chunks-per-pe / -ranks / worker count)\n"
         "  -edge-semantics S  as_generated (default) | exact_once: exact_once\n"
         "              applies the lower-endpoint ownership tie-break so every\n"
         "              edge is emitted exactly once across all chunks\n"
@@ -93,9 +110,30 @@ void print_help(std::FILE* out, const char* argv0) {
         "  -threads-per-rank T   pool threads inside each worker (default 1)\n"
         "  -keep-rank-files 1    keep the per-rank scratch files after the merge\n"
         "\n"
+        "Multi-node TCP backend (coordinator side; requires -sink count|stats|file,\n"
+        "workers run `%s -worker ...` on their machines — DESIGN.md section 11):\n"
+        "  -listen H:P    accept -expect-workers worker dial-ins on host:port\n"
+        "              (\":P\" listens on every interface)\n"
+        "  -connect LIST  dial the comma-separated worker endpoints\n"
+        "              (each worker running `-worker :port`)\n"
+        "  -expect-workers N   workers a -listen coordinator waits for\n"
+        "  -manifest FILE  partitioned output: each worker keeps its rank file\n"
+        "              node-local; write a text manifest naming every piece\n"
+        "              (instead of -o, which gathers one merged file)\n"
+        "  -net-timeout MS   connect/accept, handshake, and file-transfer\n"
+        "              inactivity deadline (default 10000)\n"
+        "  -net-deadline MS  per-worker report deadline covering generation\n"
+        "              itself (default 0 = wait; dead workers still error\n"
+        "              immediately via EOF)\n"
+        "\n"
+        "Worker mode (no model argument; one job, then exit):\n"
+        "  -worker H:P    connect to the coordinator at host:port, or with an\n"
+        "              empty host (\":P\") listen for the coordinator to dial in\n"
+        "  -worker-scratch DIR   rank-file scratch location (default $TMPDIR)\n"
+        "\n"
         "Help:\n"
         "  -help       this reference\n",
-        argv0, argv0);
+        argv0, argv0, argv0, argv0);
 }
 
 Model parse_model(const std::string& name) {
@@ -108,6 +146,69 @@ Model parse_model(const std::string& name) {
     }
     std::fprintf(stderr, "unknown model '%s' (try -help)\n", name.c_str());
     std::exit(2);
+}
+
+// ---- strict flag-value parsing -------------------------------------------
+// The old parser fed every value straight into strtoull/strtod with no
+// checks: "-n banana" ran with n=0, "-n 1e6" with n=1, "-pin-threads yes"
+// silently DISABLED pinning. Each helper rejects empty values, non-numeric
+// junk, trailing garbage, range overflow, and (for u64) negative input, and
+// exits 2 naming the flag — malformed input must never half-run.
+
+[[noreturn]] void bad_value(const std::string& flag, const char* val,
+                            const char* expected) {
+    std::fprintf(stderr, "%s: invalid value '%s' (expected %s)\n", flag.c_str(),
+                 val, expected);
+    std::exit(2);
+}
+
+u64 parse_u64(const std::string& flag, const char* val) {
+    if (val[0] == '\0' || val[0] == '-' || val[0] == '+' ||
+        std::isspace(static_cast<unsigned char>(val[0]))) {
+        bad_value(flag, val, "a non-negative base-10 integer");
+    }
+    errno     = 0;
+    char* end = nullptr;
+    const unsigned long long v = std::strtoull(val, &end, 10);
+    if (errno != 0 || end == val || *end != '\0') {
+        bad_value(flag, val, "a non-negative base-10 integer");
+    }
+    return v;
+}
+
+double parse_f64(const std::string& flag, const char* val) {
+    errno     = 0;
+    char* end = nullptr;
+    const double v = std::strtod(val, &end);
+    if (errno != 0 || end == val || *end != '\0' || !std::isfinite(v)) {
+        bad_value(flag, val, "a finite number");
+    }
+    return v;
+}
+
+bool parse_bool(const std::string& flag, const char* val) {
+    if (std::strcmp(val, "1") == 0 || std::strcmp(val, "true") == 0) return true;
+    if (std::strcmp(val, "0") == 0 || std::strcmp(val, "false") == 0) return false;
+    bad_value(flag, val, "0|1|true|false");
+}
+
+int parse_timeout_ms(const std::string& flag, const char* val) {
+    const u64 v = parse_u64(flag, val);
+    if (v > INT_MAX) bad_value(flag, val, "milliseconds <= INT_MAX");
+    return static_cast<int>(v);
+}
+
+std::vector<std::string> split_commas(const std::string& list) {
+    std::vector<std::string> out;
+    std::size_t begin = 0;
+    while (begin <= list.size()) {
+        const std::size_t comma = list.find(',', begin);
+        const std::size_t end = comma == std::string::npos ? list.size() : comma;
+        out.push_back(list.substr(begin, end - begin));
+        if (comma == std::string::npos) break;
+        begin = comma + 1;
+    }
+    return out;
 }
 
 int run_distributed_sink(const Config& cfg, const std::string& kind, u64 ranks,
@@ -173,6 +274,107 @@ int run_distributed_sink(const Config& cfg, const std::string& kind, u64 ranks,
                     static_cast<unsigned long long>(sort_memory));
     }
     return 0;
+}
+
+int run_net_sink(const Config& cfg, const std::string& kind,
+                 net::NetOptions opts, const char* out_path,
+                 const char* manifest_path, const char* dedup_out,
+                 u64 sort_memory) {
+    if (kind == "file") {
+        if (manifest_path != nullptr) {
+            opts.manifest_path = manifest_path;
+        } else if (out_path != nullptr) {
+            opts.output_path = out_path;
+            if (dedup_out != nullptr) {
+                opts.dedup_path  = dedup_out;
+                opts.sort_memory = sort_memory;
+            }
+        } else {
+            std::fprintf(
+                stderr,
+                "multi-node -sink file requires -o FILE (gather) or "
+                "-manifest FILE (partitioned)\n");
+            return 2;
+        }
+    } else if (kind == "stats") {
+        opts.degree_stats = true;
+    } else if (kind != "count") {
+        std::fprintf(stderr,
+                     "-listen/-connect requires -sink count|stats|file, got '%s'\n",
+                     kind.c_str());
+        return 2;
+    }
+    const net::NetResult res = net::run_net_coordinator(cfg, opts);
+    if (kind == "count" || kind == "stats") {
+        std::printf("model=%s n=%llu %s workers=%llu chunks=%llu seconds=%.6f\n",
+                    model_name(cfg.model), static_cast<unsigned long long>(res.n),
+                    kind == "count" ? res.count.str().c_str()
+                                    : res.degrees.str().c_str(),
+                    static_cast<unsigned long long>(res.num_workers),
+                    static_cast<unsigned long long>(res.num_chunks), res.seconds);
+        return 0;
+    }
+    if (manifest_path != nullptr) {
+        u64 total_edges = 0;
+        for (const auto& entry : res.manifest) total_edges += entry.edges;
+        std::printf("model=%s n=%llu edges[%s]=%llu partitioned across %zu "
+                    "workers -> %s (manifest) chunks=%llu seconds=%.6f\n",
+                    model_name(cfg.model), static_cast<unsigned long long>(res.n),
+                    semantics_name(cfg.edge_semantics),
+                    static_cast<unsigned long long>(total_edges),
+                    res.manifest.size(), manifest_path,
+                    static_cast<unsigned long long>(res.num_chunks), res.seconds);
+        return 0;
+    }
+    std::printf("model=%s n=%llu edges[%s]=%llu -> %s (binary) workers=%llu "
+                "chunks=%llu seconds=%.6f merged_bytes=%llu\n",
+                model_name(cfg.model), static_cast<unsigned long long>(res.n),
+                semantics_name(cfg.edge_semantics),
+                static_cast<unsigned long long>(res.edges_written), out_path,
+                static_cast<unsigned long long>(res.num_workers),
+                static_cast<unsigned long long>(res.num_chunks), res.seconds,
+                static_cast<unsigned long long>(res.merged_bytes));
+    if (dedup_out != nullptr) {
+        std::printf("dedup -> %s unique_edges=%llu sort_memory_bytes=%llu\n",
+                    dedup_out, static_cast<unsigned long long>(res.dedup_edges),
+                    static_cast<unsigned long long>(sort_memory));
+    }
+    return 0;
+}
+
+// `kagen_tool -worker host:port [...]`: no model argument — the job frame
+// carries the whole Config.
+int run_worker_mode(int argc, char** argv) {
+    if (argc < 3 || argv[2][0] == '\0') {
+        std::fprintf(stderr, "-worker requires host:port (or :port to listen)\n");
+        return 2;
+    }
+    const std::string endpoint = argv[2];
+    net::NetWorkerOptions opts;
+    for (int i = 3; i < argc; i += 2) {
+        const std::string flag = argv[i];
+        if (i + 1 >= argc) {
+            std::fprintf(stderr, "flag '%s' is missing its value\n", flag.c_str());
+            return 2;
+        }
+        const char* val = argv[i + 1];
+        if (flag == "-worker-scratch") opts.scratch_dir = val;
+        else if (flag == "-net-timeout")
+            opts.connect_timeout_ms = parse_timeout_ms(flag, val);
+        else if (flag == "-net-deadline")
+            opts.io_deadline_ms = parse_timeout_ms(flag, val);
+        else {
+            std::fprintf(stderr, "unknown worker flag '%s' (try -help)\n",
+                         flag.c_str());
+            return 2;
+        }
+    }
+    try {
+        return net::run_net_worker(endpoint, opts);
+    } catch (const std::exception& e) {
+        std::fprintf(stderr, "error: %s\n", e.what());
+        return 1;
+    }
 }
 
 int run_chunked_sink(const Config& cfg, const std::string& kind, u64 pes,
@@ -295,6 +497,9 @@ int main(int argc, char** argv) {
         print_help(stdout, argv[0]);
         return 0;
     }
+    if (argc >= 2 && std::strcmp(argv[1], "-worker") == 0) {
+        return run_worker_mode(argc, argv);
+    }
     if (argc < 2) {
         print_help(stderr, argv[0]); // error path: keep stdout clean for data
         return 2;
@@ -311,18 +516,40 @@ int main(int argc, char** argv) {
     const char* out_path  = nullptr;
     const char* dedup_out = nullptr;
     std::string sink_kind;
+    net::NetOptions net_opts;
+    const char* manifest_path = nullptr;
     bool m_set = false;
-    for (int i = 2; i + 1 < argc; i += 2) {
+    // -p 0 / -r 0 are legitimate requests (empty gnp graph, radius-0 rgg);
+    // only an ABSENT flag gets the heuristic default below.
+    bool p_set = false, r_set = false;
+    for (int i = 2; i < argc; i += 2) {
         const std::string flag = argv[i];
-        const char* val        = argv[i + 1];
-        if (flag == "-n") cfg.n = std::strtoull(val, nullptr, 10);
-        else if (flag == "-m") { cfg.m = std::strtoull(val, nullptr, 10); m_set = true; }
-        else if (flag == "-p") cfg.p = std::strtod(val, nullptr);
-        else if (flag == "-r") cfg.r = std::strtod(val, nullptr);
-        else if (flag == "-d") { cfg.avg_deg = std::strtod(val, nullptr);
-                                 cfg.ba_degree = std::strtoull(val, nullptr, 10); }
-        else if (flag == "-g") cfg.gamma = std::strtod(val, nullptr);
-        else if (flag == "-s") cfg.seed = std::strtoull(val, nullptr, 10);
+        if (i + 1 >= argc) {
+            // The old `i + 1 < argc` loop bound silently DROPPED a trailing
+            // flag with no value — "-sink file -o" ran with stdout output.
+            std::fprintf(stderr, "flag '%s' is missing its value\n", flag.c_str());
+            return 2;
+        }
+        const char* val = argv[i + 1];
+        if (flag == "-n") cfg.n = parse_u64(flag, val);
+        else if (flag == "-m") { cfg.m = parse_u64(flag, val); m_set = true; }
+        else if (flag == "-p") { cfg.p = parse_f64(flag, val); p_set = true; }
+        else if (flag == "-r") { cfg.r = parse_f64(flag, val); r_set = true; }
+        else if (flag == "-d") {
+            cfg.avg_deg = parse_f64(flag, val);
+            if (cfg.model == Model::Ba) {
+                // strtoull used to TRUNCATE "-d 2.5" to an attachment degree
+                // of 2 — a different graph than the one asked for.
+                if (cfg.avg_deg < 0.0 ||
+                    cfg.avg_deg != std::floor(cfg.avg_deg)) {
+                    bad_value(flag, val,
+                              "a non-negative integer attachment degree for ba");
+                }
+                cfg.ba_degree = static_cast<u64>(cfg.avg_deg);
+            }
+        }
+        else if (flag == "-g") cfg.gamma = parse_f64(flag, val);
+        else if (flag == "-s") cfg.seed = parse_u64(flag, val);
         else if (flag == "-sampler") {
             if (std::strcmp(val, "v1") == 0) cfg.sampler_version = SamplerVersion::v1;
             else if (std::strcmp(val, "v2") == 0) cfg.sampler_version = SamplerVersion::v2;
@@ -331,27 +558,27 @@ int main(int argc, char** argv) {
                 return 2;
             }
         }
-        else if (flag == "-rank") rank = std::strtoull(val, nullptr, 10);
-        else if (flag == "-size") size = std::strtoull(val, nullptr, 10);
+        else if (flag == "-rank") rank = parse_u64(flag, val);
+        else if (flag == "-size") size = parse_u64(flag, val);
         else if (flag == "-o") out_path = val;
         else if (flag == "-sink") sink_kind = val;
-        else if (flag == "-pes") pes = std::strtoull(val, nullptr, 10);
-        else if (flag == "-chunks-per-pe") cfg.chunks_per_pe = std::strtoull(val, nullptr, 10);
-        else if (flag == "-chunks") cfg.total_chunks = std::strtoull(val, nullptr, 10);
-        else if (flag == "-ranks") ranks = std::strtoull(val, nullptr, 10);
+        else if (flag == "-pes") pes = parse_u64(flag, val);
+        else if (flag == "-chunks-per-pe") cfg.chunks_per_pe = parse_u64(flag, val);
+        else if (flag == "-chunks") cfg.total_chunks = parse_u64(flag, val);
+        else if (flag == "-ranks") ranks = parse_u64(flag, val);
         else if (flag == "-threads-per-rank")
-            threads_per_rank = std::strtoull(val, nullptr, 10);
+            threads_per_rank = parse_u64(flag, val);
         else if (flag == "-keep-rank-files")
-            keep_rank_files = std::strtoull(val, nullptr, 10) != 0;
+            keep_rank_files = parse_bool(flag, val);
         else if (flag == "-sink-buffer-edges")
-            cfg.sink_buffer_edges = std::strtoull(val, nullptr, 10);
+            cfg.sink_buffer_edges = parse_u64(flag, val);
         else if (flag == "-pin-threads")
-            cfg.pin_threads = std::strtoull(val, nullptr, 10) != 0;
+            cfg.pin_threads = parse_bool(flag, val);
         else if (flag == "-max-buffered-bytes")
-            cfg.max_buffered_bytes = std::strtoull(val, nullptr, 10);
+            cfg.max_buffered_bytes = parse_u64(flag, val);
         else if (flag == "-spill-path") cfg.spill_path = val;
         else if (flag == "-dedup-out") dedup_out = val;
-        else if (flag == "-sort-memory") sort_memory = std::strtoull(val, nullptr, 10);
+        else if (flag == "-sort-memory") sort_memory = parse_u64(flag, val);
         else if (flag == "-edge-semantics") {
             if (!parse_semantics(val, &cfg.edge_semantics)) {
                 std::fprintf(stderr,
@@ -359,18 +586,54 @@ int main(int argc, char** argv) {
                 return 2;
             }
         }
+        else if (flag == "-listen") net_opts.listen = val;
+        else if (flag == "-connect") net_opts.connect = split_commas(val);
+        else if (flag == "-expect-workers")
+            net_opts.expect_workers = parse_u64(flag, val);
+        else if (flag == "-manifest") manifest_path = val;
+        else if (flag == "-net-timeout")
+            net_opts.connect_timeout_ms = parse_timeout_ms(flag, val);
+        else if (flag == "-net-deadline")
+            net_opts.job_deadline_ms = parse_timeout_ms(flag, val);
         else {
             std::fprintf(stderr, "unknown flag '%s' (try -help)\n", flag.c_str());
             return 2;
         }
     }
     if (!m_set) cfg.m = 8 * cfg.n;
-    if (cfg.p == 0.0) cfg.p = 8.0 / static_cast<double>(cfg.n);
-    if (cfg.r == 0.0) {
+    if (!p_set) cfg.p = 8.0 / static_cast<double>(cfg.n);
+    if (!r_set) {
         cfg.r = 0.6 * std::sqrt(std::log(static_cast<double>(cfg.n)) /
                                 static_cast<double>(cfg.n));
     }
 
+    const bool net_mode = !net_opts.listen.empty() || !net_opts.connect.empty();
+    if (!net_opts.listen.empty() && !net_opts.connect.empty()) {
+        std::fprintf(stderr, "-listen and -connect are mutually exclusive\n");
+        return 2;
+    }
+    if (!net_opts.listen.empty() && net_opts.expect_workers == 0) {
+        std::fprintf(stderr, "-listen requires -expect-workers N\n");
+        return 2;
+    }
+    if (net_mode && ranks != 0) {
+        std::fprintf(stderr, "-ranks (fork backend) and -listen/-connect "
+                             "(TCP backend) are mutually exclusive\n");
+        return 2;
+    }
+    if (net_mode && sink_kind.empty()) {
+        std::fprintf(stderr, "-listen/-connect requires -sink count|stats|file\n");
+        return 2;
+    }
+    if (manifest_path != nullptr && (!net_mode || sink_kind != "file")) {
+        std::fprintf(stderr, "-manifest requires -listen/-connect with -sink file\n");
+        return 2;
+    }
+    if (manifest_path != nullptr && dedup_out != nullptr) {
+        std::fprintf(stderr, "-dedup-out needs a gathered file (-o), "
+                             "not a -manifest run\n");
+        return 2;
+    }
     if (dedup_out != nullptr && sink_kind != "file") {
         // Silently ignoring the flag would leave scripts failing later on a
         // missing dedup file with no hint why — also on the per-PE path.
@@ -383,6 +646,12 @@ int main(int argc, char** argv) {
     }
 
     try {
+        if (net_mode) {
+            net_opts.num_pes            = pes;
+            net_opts.threads_per_worker = threads_per_rank;
+            return run_net_sink(cfg, sink_kind, net_opts, out_path,
+                                manifest_path, dedup_out, sort_memory);
+        }
         if (ranks != 0) {
             return run_distributed_sink(cfg, sink_kind, ranks, pes,
                                         threads_per_rank, keep_rank_files,

@@ -12,15 +12,6 @@
 namespace kagen::dist {
 namespace {
 
-constexpr u64 kFrameMagic = 0x4b47444953545321ULL; // "KGDIST!" + version nibble
-
-/// Sanity bound on a frame payload so a corrupt length field fails as a
-/// protocol error, not an allocation attempt. A report is the fixed stats
-/// fields plus at most one 8-bytes-per-vertex degree vector, so 2^37
-/// (128 GiB) leaves room for degree summaries up to ~2^34 vertices —
-/// far past what a single frame should ever carry in practice.
-constexpr u64 kMaxFrameBytes = u64{1} << 37;
-
 [[noreturn]] void throw_errno(const std::string& what) {
     throw std::runtime_error("dist ipc: " + what + ": " + std::strerror(errno));
 }

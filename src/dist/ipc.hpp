@@ -25,6 +25,18 @@
 
 namespace kagen::dist {
 
+/// Frame header constants, shared by the pipe transport here and the TCP
+/// transport (net/socket.hpp): every frame is
+/// `[kFrameMagic u64][payload bytes u64][payload]`, little-endian.
+constexpr u64 kFrameMagic = 0x4b47444953545321ULL; // "KGDIST!" + version nibble
+
+/// Sanity bound on a frame payload so a corrupt length field fails as a
+/// protocol error, not an allocation attempt. A report is the fixed stats
+/// fields plus at most one 8-bytes-per-vertex degree vector, so 2^37
+/// (128 GiB) leaves room for degree summaries up to ~2^34 vertices —
+/// far past what a single frame should ever carry in practice.
+constexpr u64 kMaxFrameBytes = u64{1} << 37;
+
 /// Everything one worker reports back to the coordinator.
 struct RankReport {
     u64 rank = 0;

@@ -81,64 +81,15 @@ private:
     try {
         if (opt.rank_hook) opt.rank_hook(rank);
 
-        std::unique_ptr<BinaryFileSink> file;
-        if (!rank_path.empty()) {
-            file = std::make_unique<BinaryFileSink>(
-                rank_path, static_cast<std::size_t>(cfg.sink_buffer_edges));
-        }
-        CountingSink count(cfg.edge_semantics);
-        std::unique_ptr<DegreeStatsSink> degrees;
-        if (opt.degree_stats) {
-            degrees = std::make_unique<DegreeStatsSink>(num_vertices(cfg),
-                                                        cfg.edge_semantics);
-        }
-        RankSink sink(file.get(), count, degrees.get());
-
-        if (chunk_begin < chunk_end) {
-            pe::ChunkOptions copt;
-            copt.total_chunks       = num_chunks;
-            copt.num_pes            = 1; // decomposition pinned by total_chunks
-            copt.chunks_per_pe      = 1;
-            copt.chunk_begin        = chunk_begin;
-            copt.chunk_end          = chunk_end;
-            copt.max_buffered_bytes = cfg.max_buffered_bytes;
-            copt.pin_threads        = cfg.pin_threads;
-            copt.deal_granularity   = chunk_deal_granularity(cfg);
-            if (!cfg.spill_path.empty()) {
-                // Each rank needs its own scratch file, not a shared name.
-                copt.spill_path =
-                    cfg.spill_path + ".rank" + std::to_string(rank);
-            }
-            // The forked child must never run a parallel section on the
-            // parent's pool: its worker threads did not survive the fork.
-            // threads == 1 keeps run_chunked on the inline path; more
-            // threads get a pool born in *this* process.
-            std::unique_ptr<pe::ThreadPool> pool;
-            copt.threads = std::max<u64>(opt.threads_per_rank, 1);
-            if (copt.threads > 1) {
-                pool      = std::make_unique<pe::ThreadPool>(copt.threads - 1);
-                copt.pool = pool.get();
-            }
-            report.stats = pe::run_chunked(
-                copt,
-                [&cfg](u64 chunk, u64 total, EdgeSink& chunk_sink) {
-                    generate(cfg, chunk, total, chunk_sink);
-                },
-                sink);
-        }
-
-        sink.finish();
-        if (file) {
-            file->finish();
-            report.file_edges = file->num_edges();
-        }
-        count.finish();
-        if (degrees) degrees->finish();
-        report.count = count.summarize();
-        if (degrees) {
-            report.has_degrees = true;
-            report.degrees     = degrees->summarize();
-        }
+        RankJob job;
+        job.rank         = rank;
+        job.num_chunks   = num_chunks;
+        job.chunk_begin  = chunk_begin;
+        job.chunk_end    = chunk_end;
+        job.threads      = opt.threads_per_rank;
+        job.degree_stats = opt.degree_stats;
+        job.rank_path    = rank_path;
+        report           = execute_rank_job(cfg, job);
     } catch (const std::exception& e) {
         report.ok    = false;
         report.error = e.what();
@@ -242,6 +193,72 @@ fileio::CopyStats append_rank_file(int out_fd, const std::string& rank_path,
 }
 
 } // namespace
+
+RankReport execute_rank_job(const Config& cfg, const RankJob& job) {
+    RankReport report;
+    report.rank        = job.rank;
+    report.chunk_begin = job.chunk_begin;
+    report.chunk_end   = job.chunk_end;
+
+    std::unique_ptr<BinaryFileSink> file;
+    if (!job.rank_path.empty()) {
+        file = std::make_unique<BinaryFileSink>(
+            job.rank_path, static_cast<std::size_t>(cfg.sink_buffer_edges));
+    }
+    CountingSink count(cfg.edge_semantics);
+    std::unique_ptr<DegreeStatsSink> degrees;
+    if (job.degree_stats) {
+        degrees = std::make_unique<DegreeStatsSink>(num_vertices(cfg),
+                                                    cfg.edge_semantics);
+    }
+    RankSink sink(file.get(), count, degrees.get());
+
+    if (job.chunk_begin < job.chunk_end) {
+        pe::ChunkOptions copt;
+        copt.total_chunks       = job.num_chunks;
+        copt.num_pes            = 1; // decomposition pinned by total_chunks
+        copt.chunks_per_pe      = 1;
+        copt.chunk_begin        = job.chunk_begin;
+        copt.chunk_end          = job.chunk_end;
+        copt.max_buffered_bytes = cfg.max_buffered_bytes;
+        copt.pin_threads        = cfg.pin_threads;
+        copt.deal_granularity   = chunk_deal_granularity(cfg);
+        if (!cfg.spill_path.empty()) {
+            // Each rank needs its own scratch file, not a shared name.
+            copt.spill_path = cfg.spill_path + ".rank" + std::to_string(job.rank);
+        }
+        // A forked child must never run a parallel section on a pool born in
+        // another process, and a TCP worker wants its pool sized to the job:
+        // threads == 1 keeps run_chunked on the inline path; more threads
+        // get a pool born in *this* process, scoped to this job.
+        std::unique_ptr<pe::ThreadPool> pool;
+        copt.threads = std::max<u64>(job.threads, 1);
+        if (copt.threads > 1) {
+            pool      = std::make_unique<pe::ThreadPool>(copt.threads - 1);
+            copt.pool = pool.get();
+        }
+        report.stats = pe::run_chunked(
+            copt,
+            [&cfg](u64 chunk, u64 total, EdgeSink& chunk_sink) {
+                generate(cfg, chunk, total, chunk_sink);
+            },
+            sink);
+    }
+
+    sink.finish();
+    if (file) {
+        file->finish();
+        report.file_edges = file->num_edges();
+    }
+    count.finish();
+    if (degrees) degrees->finish();
+    report.count = count.summarize();
+    if (degrees) {
+        report.has_degrees = true;
+        report.degrees     = degrees->summarize();
+    }
+    return report;
+}
 
 DistResult run_distributed(const Config& cfg, const DistOptions& opts) {
     DistOptions opt = opts;

@@ -125,5 +125,27 @@ struct DistResult {
 /// failure (descriptive, no hang, no partial files left behind).
 DistResult run_distributed(const Config& cfg, const DistOptions& opts);
 
+/// One rank's share of a distributed run, transport-agnostic: everything a
+/// worker needs to know to execute its chunk range, however the job reached
+/// it (inherited across a fork here, or decoded from a TCP job frame in
+/// net/worker.cpp).
+struct RankJob {
+    u64 rank        = 0;
+    u64 num_chunks  = 0; ///< canonical chunk count C of the decomposition
+    u64 chunk_begin = 0; ///< contiguous range [chunk_begin, chunk_end) to run
+    u64 chunk_end   = 0;
+    u64 threads     = 1; ///< pool threads inside the worker (own pool)
+    bool degree_stats = false;   ///< also collect the O(n) degree summary
+    std::string rank_path;       ///< binary edge file to write; empty = stats only
+};
+
+/// Executes one rank job: runs `pe::run_chunked` over the job's chunk range
+/// into the rank file (when requested) plus local statistics sinks, and
+/// returns the finished RankReport (ok == true). The single rank-execution
+/// core shared by the forked worker and the TCP worker — byte-identity of
+/// both backends rests on them running literally this function. Throws on
+/// any failure; the caller owns turning that into a failure report.
+RankReport execute_rank_job(const Config& cfg, const RankJob& job);
+
 } // namespace dist
 } // namespace kagen

@@ -34,8 +34,10 @@
 
 #include <stdexcept>
 #include <string>
+#include <vector>
 
 #include "ba/ba.hpp"
+#include "common/bytes.hpp"
 #include "common/math.hpp"
 #include "common/types.hpp"
 #include "dist/runner.hpp"
@@ -141,6 +143,91 @@ struct Result {
     EdgeList edges; ///< this PE's edges (semantics per model header)
     u64 n = 0;      ///< global vertex count
 };
+
+/// Canonical byte encoding of a Config (little-endian, fixed field order,
+/// versioned) — ONE encode for every consumer that needs a config to
+/// survive a boundary: the TCP job frame of the net backend today, and the
+/// daemon's cache key / wire form on the ROADMAP. Two equal configs encode
+/// to identical bytes, so the encoding doubles as a content-address.
+/// Bump `kConfigEncodingVersion` whenever a field is added or reordered;
+/// `decode_config` rejects any other version rather than misreading fields.
+constexpr u64 kConfigEncodingVersion = 1;
+
+inline void encode_config(std::vector<u8>& out, const Config& cfg) {
+    bytes::put_u64(out, kConfigEncodingVersion);
+    bytes::put_u64(out, static_cast<u64>(cfg.model));
+    bytes::put_u64(out, cfg.n);
+    bytes::put_u64(out, cfg.m);
+    bytes::put_f64(out, cfg.p);
+    bytes::put_f64(out, cfg.r);
+    bytes::put_f64(out, cfg.avg_deg);
+    bytes::put_f64(out, cfg.gamma);
+    bytes::put_u64(out, cfg.ba_degree);
+    bytes::put_f64(out, cfg.rmat_a);
+    bytes::put_f64(out, cfg.rmat_b);
+    bytes::put_f64(out, cfg.rmat_c);
+    bytes::put_u64(out, cfg.seed);
+    bytes::put_u64(out, cfg.chunks_per_pe);
+    bytes::put_u64(out, cfg.total_chunks);
+    bytes::put_u64(out, cfg.max_buffered_bytes);
+    bytes::put_string(out, cfg.spill_path);
+    bytes::put_u64(out, cfg.sink_buffer_edges);
+    bytes::put_u64(out, cfg.pin_threads ? 1 : 0);
+    bytes::put_u64(out, cfg.num_processes);
+    bytes::put_u64(out, static_cast<u64>(cfg.sampler_version));
+    bytes::put_u64(out, static_cast<u64>(cfg.edge_semantics));
+}
+
+/// Bounds-checked decode of `encode_config`'s layout; advances `p`. Throws
+/// std::runtime_error on truncation, version mismatch, or an enum value the
+/// decoder does not know — a config must never decode to a *different*
+/// graph than the one encoded, so unknown inputs fail loudly.
+inline Config decode_config(const u8*& p, const u8* end) {
+    const u64 version = bytes::get_u64(p, end);
+    if (version != kConfigEncodingVersion) {
+        throw std::runtime_error("kagen: config encoding version " +
+                                 std::to_string(version) + " not supported (want " +
+                                 std::to_string(kConfigEncodingVersion) + ")");
+    }
+    Config cfg;
+    const u64 model = bytes::get_u64(p, end);
+    if (model > static_cast<u64>(Model::Rmat)) {
+        throw std::runtime_error("kagen: config carries unknown model id " +
+                                 std::to_string(model));
+    }
+    cfg.model              = static_cast<Model>(model);
+    cfg.n                  = bytes::get_u64(p, end);
+    cfg.m                  = bytes::get_u64(p, end);
+    cfg.p                  = bytes::get_f64(p, end);
+    cfg.r                  = bytes::get_f64(p, end);
+    cfg.avg_deg            = bytes::get_f64(p, end);
+    cfg.gamma              = bytes::get_f64(p, end);
+    cfg.ba_degree          = bytes::get_u64(p, end);
+    cfg.rmat_a             = bytes::get_f64(p, end);
+    cfg.rmat_b             = bytes::get_f64(p, end);
+    cfg.rmat_c             = bytes::get_f64(p, end);
+    cfg.seed               = bytes::get_u64(p, end);
+    cfg.chunks_per_pe      = bytes::get_u64(p, end);
+    cfg.total_chunks       = bytes::get_u64(p, end);
+    cfg.max_buffered_bytes = bytes::get_u64(p, end);
+    cfg.spill_path         = bytes::get_string(p, end);
+    cfg.sink_buffer_edges  = bytes::get_u64(p, end);
+    cfg.pin_threads        = bytes::get_u64(p, end) != 0;
+    cfg.num_processes      = bytes::get_u64(p, end);
+    const u64 sampler      = bytes::get_u64(p, end);
+    if (sampler > static_cast<u64>(SamplerVersion::v2)) {
+        throw std::runtime_error("kagen: config carries unknown sampler version " +
+                                 std::to_string(sampler));
+    }
+    cfg.sampler_version = static_cast<SamplerVersion>(sampler);
+    const u64 semantics = bytes::get_u64(p, end);
+    if (semantics > static_cast<u64>(EdgeSemantics::exact_once)) {
+        throw std::runtime_error("kagen: config carries unknown edge semantics " +
+                                 std::to_string(semantics));
+    }
+    cfg.edge_semantics = static_cast<EdgeSemantics>(semantics);
+    return cfg;
+}
 
 inline const char* model_name(Model model) {
     switch (model) {

@@ -1,0 +1,353 @@
+#include "net/coordinator.hpp"
+
+#include <cerrno>
+#include <csignal>
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <stdexcept>
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include "common/fileio.hpp"
+#include "common/math.hpp"
+#include "graph/em_sort.hpp"
+#include "kagen.hpp"
+#include "net/protocol.hpp"
+
+namespace kagen::net {
+namespace {
+
+[[noreturn]] void throw_errno(const std::string& what) {
+    throw std::runtime_error("net coordinator: " + what + ": " +
+                             std::strerror(errno));
+}
+
+/// Prefix for every per-rank error so failures are attributable at a
+/// glance: "rank 2 (10.0.0.7:41210): ...".
+std::string rank_tag(u64 rank, const Socket& sock) {
+    return "rank " + std::to_string(rank) + " (" + sock.peer() + ")";
+}
+
+/// recv_frame wrapper that converts EOF and every transport error into a
+/// rank-attributed message.
+std::vector<u8> recv_message(Socket& sock, u64 rank, int deadline_ms,
+                             const char* waiting_for) {
+    std::vector<u8> payload;
+    try {
+        if (!sock.recv_frame(payload, deadline_ms)) {
+            throw std::runtime_error("connection closed before sending its " +
+                                     std::string(waiting_for) +
+                                     " (worker died?)");
+        }
+    } catch (const std::exception& e) {
+        throw std::runtime_error("net coordinator: " + rank_tag(rank, sock) +
+                                 ": " + e.what());
+    }
+    return payload;
+}
+
+void remove_file(const std::string& path) {
+    if (!path.empty()) ::unlink(path.c_str());
+}
+
+void validate_options(const NetOptions& opt) {
+    const bool listening = !opt.listen.empty() || opt.listener != nullptr;
+    if (listening == !opt.connect.empty()) {
+        throw std::invalid_argument(
+            "net coordinator: exactly one of listen / connect must be set");
+    }
+    if (listening && opt.expect_workers == 0) {
+        throw std::invalid_argument(
+            "net coordinator: listen mode requires expect_workers >= 1");
+    }
+    if (!opt.connect.empty() && opt.expect_workers != 0 &&
+        opt.expect_workers != opt.connect.size()) {
+        throw std::invalid_argument(
+            "net coordinator: expect_workers (" +
+            std::to_string(opt.expect_workers) + ") contradicts the " +
+            std::to_string(opt.connect.size()) + " connect endpoints");
+    }
+    if (!opt.output_path.empty() && !opt.manifest_path.empty()) {
+        throw std::invalid_argument(
+            "net coordinator: output_path (gather) and manifest_path "
+            "(partitioned) are mutually exclusive");
+    }
+    if (!opt.dedup_path.empty() && opt.output_path.empty()) {
+        throw std::invalid_argument(
+            "net coordinator: dedup_path requires output_path");
+    }
+}
+
+} // namespace
+
+NetResult run_net_coordinator(const Config& cfg, const NetOptions& opts) {
+    NetOptions opt = opts;
+    validate_options(opt);
+    if (cfg.chunks_per_pe == 0) {
+        throw std::invalid_argument(
+            "net coordinator: chunks_per_pe must be >= 1");
+    }
+    const u64 W =
+        !opt.connect.empty() ? opt.connect.size() : opt.expect_workers;
+    if (opt.num_pes == 0) opt.num_pes = W;
+    if (opt.threads_per_worker == 0) opt.threads_per_worker = 1;
+
+    // A worker that died mid-conversation must surface as a send/recv error
+    // on its socket, never as SIGPIPE killing the coordinator.
+    ::signal(SIGPIPE, SIG_IGN);
+
+    NetResult result;
+    result.n = num_vertices(cfg); // validates the config before any I/O
+    result.num_chunks =
+        cfg.total_chunks != 0 ? cfg.total_chunks : cfg.chunks_per_pe * opt.num_pes;
+    result.num_workers = W;
+
+    const bool want_file = !opt.output_path.empty() || !opt.manifest_path.empty();
+    const bool gather    = !opt.output_path.empty();
+
+    // --- reach the fleet --------------------------------------------------
+    std::vector<Socket> socks(W);
+    if (!opt.connect.empty()) {
+        for (u64 w = 0; w < W; ++w) {
+            const Endpoint ep = parse_endpoint(opt.connect[w]);
+            try {
+                socks[w] = connect_to(ep, opt.connect_timeout_ms);
+            } catch (const std::exception& e) {
+                throw std::runtime_error("net coordinator: worker " +
+                                         std::to_string(w) + " of " +
+                                         std::to_string(W) + ": " + e.what());
+            }
+        }
+    } else {
+        std::unique_ptr<Listener> owned;
+        Listener* listener = opt.listener;
+        if (listener == nullptr) {
+            owned    = std::make_unique<Listener>(parse_endpoint(opt.listen));
+            listener = owned.get();
+        }
+        for (u64 w = 0; w < W; ++w) {
+            try {
+                socks[w] = listener->accept(opt.connect_timeout_ms);
+            } catch (const std::exception& e) {
+                throw std::runtime_error(
+                    "net coordinator: worker " + std::to_string(w) + " of " +
+                    std::to_string(W) + " never connected: " + e.what());
+            }
+        }
+    }
+
+    // --- handshake + job fan-out -----------------------------------------
+    for (u64 w = 0; w < W; ++w) {
+        decode_hello(recv_message(socks[w], w, opt.connect_timeout_ms, "hello"));
+        socks[w].send_frame(encode_hello());
+    }
+    for (u64 w = 0; w < W; ++w) {
+        JobSpec job;
+        job.cfg          = cfg;
+        job.rank         = w;
+        job.num_workers  = W;
+        job.num_chunks   = result.num_chunks;
+        job.chunk_begin  = block_begin(result.num_chunks, W, w);
+        job.chunk_end    = block_begin(result.num_chunks, W, w + 1);
+        job.threads      = opt.threads_per_worker;
+        job.want_file    = want_file;
+        job.send_file    = gather;
+        job.degree_stats = opt.degree_stats;
+        try {
+            socks[w].send_frame(encode_job(job));
+        } catch (const std::exception& e) {
+            throw std::runtime_error("net coordinator: " + rank_tag(w, socks[w]) +
+                                     ": sending job failed: " + e.what());
+        }
+    }
+
+    // --- collect reports (and files) in rank order ------------------------
+    // Gathered payloads stream behind a placeholder header; the real total
+    // is pwritten once every rank arrived. Any failure unlinks the partial
+    // file before rethrowing — no partial outputs, ever.
+    int out_fd = -1;
+    try {
+        if (gather) {
+            out_fd = ::open(opt.output_path.c_str(),
+                            O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC, 0644);
+            if (out_fd < 0) {
+                throw_errno("cannot open output '" + opt.output_path + "'");
+            }
+            const u64 placeholder = 0;
+            fileio::write_all(out_fd, &placeholder, sizeof(placeholder));
+        }
+
+        result.ranks.resize(W);
+        for (u64 w = 0; w < W; ++w) {
+            Socket& sock = socks[w];
+            dist::RankReport report =
+                decode_report(recv_message(sock, w, opt.job_deadline_ms, "report"));
+            if (!report.ok) {
+                throw std::runtime_error("net coordinator: " + rank_tag(w, sock) +
+                                         " failed: " + report.error);
+            }
+            // Validate every field the merge is about to trust.
+            if (report.rank != w) {
+                throw std::runtime_error(
+                    "net coordinator: " + rank_tag(w, sock) +
+                    ": report carries wrong rank id " + std::to_string(report.rank));
+            }
+            const u64 lo = block_begin(result.num_chunks, W, w);
+            const u64 hi = block_begin(result.num_chunks, W, w + 1);
+            if (report.chunk_begin != lo || report.chunk_end != hi) {
+                throw std::runtime_error(
+                    "net coordinator: " + rank_tag(w, sock) + ": report covers chunks [" +
+                    std::to_string(report.chunk_begin) + ", " +
+                    std::to_string(report.chunk_end) + "), assigned [" +
+                    std::to_string(lo) + ", " + std::to_string(hi) + ")");
+            }
+            if (report.count.semantics != cfg.edge_semantics) {
+                throw std::runtime_error(
+                    "net coordinator: " + rank_tag(w, sock) +
+                    ": report semantics '" + semantics_name(report.count.semantics) +
+                    "' do not match the run's '" +
+                    semantics_name(cfg.edge_semantics) + "'");
+            }
+            if (opt.degree_stats &&
+                (!report.has_degrees ||
+                 report.degrees.degrees.size() != result.n)) {
+                throw std::runtime_error(
+                    "net coordinator: " + rank_tag(w, sock) +
+                    ": degree summary missing or sized for the wrong n");
+            }
+            if (want_file && report.file_edges != report.count.num_edges) {
+                throw std::runtime_error(
+                    "net coordinator: " + rank_tag(w, sock) + ": rank file has " +
+                    std::to_string(report.file_edges) + " edges but the rank counted " +
+                    std::to_string(report.count.num_edges));
+            }
+
+            if (gather) {
+                const FileHeader header = decode_file_header(recv_message(
+                    sock, w, opt.connect_timeout_ms, "file header"));
+                if (header.edges != report.file_edges ||
+                    header.payload_bytes != 16 * report.file_edges) {
+                    throw std::runtime_error(
+                        "net coordinator: " + rank_tag(w, sock) +
+                        ": file header announces " + std::to_string(header.edges) +
+                        " edges / " + std::to_string(header.payload_bytes) +
+                        " bytes, report said " + std::to_string(report.file_edges));
+                }
+                try {
+                    sock.recv_payload_to(out_fd, header.payload_bytes,
+                                         opt.connect_timeout_ms);
+                } catch (const std::exception& e) {
+                    throw std::runtime_error("net coordinator: " +
+                                             rank_tag(w, sock) + ": " + e.what());
+                }
+                result.merged_bytes += header.payload_bytes;
+            } else if (want_file) {
+                const FileInfo info = decode_file_info(recv_message(
+                    sock, w, opt.connect_timeout_ms, "file info"));
+                if (info.edges != report.file_edges ||
+                    info.bytes != 8 + 16 * report.file_edges) {
+                    throw std::runtime_error(
+                        "net coordinator: " + rank_tag(w, sock) +
+                        ": file info contradicts the report (" +
+                        std::to_string(info.edges) + " vs " +
+                        std::to_string(report.file_edges) + " edges)");
+                }
+                NetManifestEntry entry;
+                entry.rank        = w;
+                entry.peer        = sock.peer();
+                entry.path        = info.path;
+                entry.chunk_begin = report.chunk_begin;
+                entry.chunk_end   = report.chunk_end;
+                entry.edges       = info.edges;
+                entry.bytes       = info.bytes;
+                result.manifest.push_back(entry);
+            }
+
+            result.edges_written += report.file_edges;
+            result.seconds = std::max(result.seconds, report.stats.seconds);
+            result.ranks[w] = std::move(report);
+        }
+
+        // --- merge summaries (exactly the fork coordinator's arithmetic) --
+        result.count       = result.ranks[0].count;
+        result.has_degrees = opt.degree_stats;
+        if (opt.degree_stats) result.degrees = std::move(result.ranks[0].degrees);
+        for (u64 w = 1; w < W; ++w) {
+            result.count.merge(result.ranks[w].count);
+            if (opt.degree_stats) result.degrees.merge(result.ranks[w].degrees);
+        }
+        for (u64 w = 0; w < W; ++w) {
+            std::vector<u64>().swap(result.ranks[w].degrees.degrees);
+        }
+
+        if (gather) {
+            if (::pwrite(out_fd, &result.edges_written,
+                         sizeof(result.edges_written), 0) !=
+                static_cast<ssize_t>(sizeof(result.edges_written))) {
+                throw_errno("cannot finalize output header");
+            }
+            const int fd = out_fd;
+            out_fd       = -1;
+            if (::close(fd) != 0) {
+                throw_errno("cannot close output '" + opt.output_path + "'");
+            }
+        }
+    } catch (...) {
+        if (out_fd >= 0) ::close(out_fd);
+        if (gather) remove_file(opt.output_path);
+        throw;
+    }
+    if (!gather) result.edges_written = 0;
+
+    if (!opt.manifest_path.empty()) {
+        std::FILE* mf = std::fopen(opt.manifest_path.c_str(), "w");
+        if (mf == nullptr) {
+            throw_errno("cannot open manifest '" + opt.manifest_path + "'");
+        }
+        u64 total_edges = 0;
+        for (const auto& e : result.manifest) total_edges += e.edges;
+        std::fprintf(mf,
+                     "# kagen partitioned output manifest v1\n"
+                     "model=%s n=%llu semantics=%s chunks=%llu workers=%llu "
+                     "total_edges=%llu\n",
+                     model_name(cfg.model),
+                     static_cast<unsigned long long>(result.n),
+                     semantics_name(cfg.edge_semantics),
+                     static_cast<unsigned long long>(result.num_chunks),
+                     static_cast<unsigned long long>(W),
+                     static_cast<unsigned long long>(total_edges));
+        for (const auto& e : result.manifest) {
+            std::fprintf(mf,
+                         "rank=%llu peer=%s path=%s chunks=[%llu,%llu) "
+                         "edges=%llu bytes=%llu\n",
+                         static_cast<unsigned long long>(e.rank), e.peer.c_str(),
+                         e.path.c_str(),
+                         static_cast<unsigned long long>(e.chunk_begin),
+                         static_cast<unsigned long long>(e.chunk_end),
+                         static_cast<unsigned long long>(e.edges),
+                         static_cast<unsigned long long>(e.bytes));
+        }
+        if (std::fflush(mf) != 0 || std::ferror(mf)) {
+            std::fclose(mf);
+            remove_file(opt.manifest_path);
+            throw_errno("writing manifest '" + opt.manifest_path + "' failed");
+        }
+        std::fclose(mf);
+    }
+
+    if (!opt.dedup_path.empty()) {
+        try {
+            const em::SortStats sorted = em::sort_dedup_file(
+                opt.output_path, opt.dedup_path, opt.sort_memory);
+            result.dedup_edges = sorted.output_edges;
+        } catch (...) {
+            remove_file(opt.dedup_path);
+            throw;
+        }
+    }
+    return result;
+}
+
+} // namespace kagen::net

@@ -1,0 +1,122 @@
+/// \file coordinator.hpp
+/// \brief TCP coordinator of the multi-node backend: same decomposition,
+///        same merge, sockets instead of pipes.
+///
+/// `run_net_coordinator` is the socket twin of `dist::run_distributed`
+/// (dist/runner.hpp): it assigns each of W workers the contiguous
+/// `block_begin` slice of the canonical C-chunk decomposition, lets every
+/// worker generate its share with zero worker↔worker communication, merges
+/// the per-rank summaries with exactly the arithmetic the fork coordinator
+/// uses, and assembles the output file in canonical rank order — so the
+/// merged file is byte-identical to the forked backend and to a
+/// single-process `generate_chunked` run for every (workers, P, K) ×
+/// semantics combination. The differences are all about distrust of the
+/// transport:
+///
+///  * workers are reached over TCP (accept W dial-ins, or dial W listening
+///    workers) with connect/accept timeouts and a two-way hello;
+///  * every report is validated: rank id, chunk-range echo against the
+///    assignment, semantics/n of the summaries, file edge counts;
+///  * per-worker deadlines bound every receive; dead sockets and torn
+///    frames surface as errors naming the rank — no hangs, and a failed run
+///    leaves no partial output file behind;
+///  * output is either *gathered* (rank files streamed back and
+///    concatenated, the pipe backend's shape) or left *partitioned*: each
+///    worker keeps its node-local rank file and the coordinator writes a
+///    manifest naming every piece — the small-cluster deployment shape of
+///    Gupta's external-memory distributed generation (PAPERS.md).
+///
+/// See DESIGN.md §11 for the wire format and failure semantics.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+#include "dist/ipc.hpp"
+#include "net/socket.hpp"
+
+namespace kagen {
+
+struct Config; // kagen.hpp (which includes this header after defining it)
+
+namespace net {
+
+struct NetOptions {
+    /// Exactly one of `listen` / `connect` selects how workers are reached:
+    /// `listen` = "host:port" (":port" = every interface) accepts
+    /// `expect_workers` dial-ins; `connect` dials each listed worker
+    /// ("host:port" each, workers running `-worker :port`). Ranks are
+    /// assigned in accept/connect order.
+    std::string listen;
+    std::vector<std::string> connect;
+    u64 expect_workers = 0; ///< required with `listen`; with `connect` it
+                            ///< must match connect.size() (or stay 0)
+
+    u64 num_pes = 0; ///< simulated PEs P of the decomposition (C = K·P
+                     ///< unless Config::total_chunks pins it); 0 = worker
+                     ///< count. The graph depends only on C.
+    u64 threads_per_worker = 1; ///< pool threads inside each worker
+
+    std::string output_path;   ///< gather mode: merged binary edge file
+    std::string manifest_path; ///< partitioned mode: workers keep their rank
+                               ///< files; this text manifest names them.
+                               ///< Mutually exclusive with output_path.
+    bool degree_stats = false; ///< also collect + merge per-vertex degrees
+
+    std::string dedup_path; ///< non-empty: em::sort_dedup_file over the
+                            ///< gathered output into this file
+    u64 sort_memory = u64{64} << 20;
+
+    int connect_timeout_ms = 10000; ///< accept/connect + handshake + the
+                                    ///< post-report file transfer deadline
+    int job_deadline_ms = 0; ///< per-worker report deadline, covering the
+                             ///< generation itself; 0 = wait forever (a
+                             ///< *dead* worker still errors immediately via
+                             ///< EOF — this bounds a live-but-hung one)
+
+    /// Test hook: accept on this pre-bound listener instead of binding
+    /// `listen` (lets tests use an ephemeral port). `expect_workers` still
+    /// sizes the run.
+    Listener* listener = nullptr;
+};
+
+/// One rank file of a partitioned (manifest-mode) run.
+struct NetManifestEntry {
+    u64 rank = 0;
+    std::string peer; ///< worker address as seen by the coordinator
+    std::string path; ///< rank-file path on the worker's machine
+    u64 chunk_begin = 0;
+    u64 chunk_end   = 0;
+    u64 edges       = 0;
+    u64 bytes       = 0; ///< on-disk size (8-byte header + 16 per edge)
+};
+
+/// Coordinator-side view of a finished multi-node run.
+struct NetResult {
+    u64 n           = 0; ///< global vertex count
+    u64 num_chunks  = 0; ///< canonical chunks C of the decomposition
+    u64 num_workers = 0;
+
+    double seconds = 0.0; ///< slowest rank's makespan (critical path)
+
+    u64 edges_written = 0; ///< edges in the gathered output file (0 = none)
+    u64 merged_bytes  = 0; ///< rank-file payload bytes received and written
+    u64 dedup_edges   = 0; ///< unique edges after the optional dedup pass
+
+    CountingSummary count;    ///< merged counting summary (all ranks)
+    bool has_degrees = false; ///< degree summary collected and merged
+    DegreeStatsSummary degrees;
+
+    std::vector<dist::RankReport> ranks;     ///< per-rank reports, rank order
+    std::vector<NetManifestEntry> manifest;  ///< partitioned mode only
+};
+
+/// Runs `cfg`'s graph across the workers `opts` describes and merges their
+/// outputs; see the file comment. Throws std::invalid_argument on option
+/// conflicts and std::runtime_error naming the rank on any worker or
+/// transport failure (no hang, no partial output files left behind).
+NetResult run_net_coordinator(const Config& cfg, const NetOptions& opts);
+
+} // namespace net
+} // namespace kagen

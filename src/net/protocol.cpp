@@ -1,0 +1,167 @@
+#include "net/protocol.hpp"
+
+#include <stdexcept>
+
+#include "common/bytes.hpp"
+
+namespace kagen::net {
+namespace {
+
+/// Reads and checks the leading type tag.
+void expect_type(const u8*& p, const u8* end, Msg want) {
+    const u64 got = bytes::get_u64(p, end);
+    if (got != static_cast<u64>(want)) {
+        throw std::runtime_error(
+            "net: expected a " + std::string(msg_name(want)) +
+            " message, got type " + std::to_string(got));
+    }
+}
+
+/// Decoders must consume the payload exactly: leftover bytes mean the two
+/// ends disagree about the message layout.
+void expect_consumed(const u8* p, const u8* end, Msg type) {
+    if (p != end) {
+        throw std::runtime_error("net: trailing bytes in " +
+                                 std::string(msg_name(type)) + " message");
+    }
+}
+
+} // namespace
+
+Msg peek_type(const std::vector<u8>& payload) {
+    const u8* p   = payload.data();
+    const u8* end = p + payload.size();
+    return static_cast<Msg>(bytes::get_u64(p, end));
+}
+
+const char* msg_name(Msg type) {
+    switch (type) {
+        case Msg::hello:     return "hello";
+        case Msg::job:       return "job";
+        case Msg::report:    return "report";
+        case Msg::file:      return "file";
+        case Msg::file_info: return "file-info";
+    }
+    return "unknown";
+}
+
+std::vector<u8> encode_hello() {
+    std::vector<u8> out;
+    bytes::put_u64(out, static_cast<u64>(Msg::hello));
+    bytes::put_u64(out, kProtocolVersion);
+    return out;
+}
+
+void decode_hello(const std::vector<u8>& payload) {
+    const u8* p   = payload.data();
+    const u8* end = p + payload.size();
+    expect_type(p, end, Msg::hello);
+    const u64 version = bytes::get_u64(p, end);
+    if (version != kProtocolVersion) {
+        throw std::runtime_error("net: peer speaks protocol version " +
+                                 std::to_string(version) + ", this build wants " +
+                                 std::to_string(kProtocolVersion));
+    }
+    expect_consumed(p, end, Msg::hello);
+}
+
+std::vector<u8> encode_job(const JobSpec& job) {
+    std::vector<u8> out;
+    bytes::put_u64(out, static_cast<u64>(Msg::job));
+    bytes::put_u64(out, job.rank);
+    bytes::put_u64(out, job.num_workers);
+    bytes::put_u64(out, job.num_chunks);
+    bytes::put_u64(out, job.chunk_begin);
+    bytes::put_u64(out, job.chunk_end);
+    bytes::put_u64(out, job.threads);
+    bytes::put_u64(out, job.want_file ? 1 : 0);
+    bytes::put_u64(out, job.send_file ? 1 : 0);
+    bytes::put_u64(out, job.degree_stats ? 1 : 0);
+    encode_config(out, job.cfg);
+    return out;
+}
+
+JobSpec decode_job(const std::vector<u8>& payload) {
+    const u8* p   = payload.data();
+    const u8* end = p + payload.size();
+    expect_type(p, end, Msg::job);
+    JobSpec job;
+    job.rank         = bytes::get_u64(p, end);
+    job.num_workers  = bytes::get_u64(p, end);
+    job.num_chunks   = bytes::get_u64(p, end);
+    job.chunk_begin  = bytes::get_u64(p, end);
+    job.chunk_end    = bytes::get_u64(p, end);
+    job.threads      = bytes::get_u64(p, end);
+    job.want_file    = bytes::get_u64(p, end) != 0;
+    job.send_file    = bytes::get_u64(p, end) != 0;
+    job.degree_stats = bytes::get_u64(p, end) != 0;
+    job.cfg          = decode_config(p, end);
+    expect_consumed(p, end, Msg::job);
+    if (job.chunk_begin > job.chunk_end || job.chunk_end > job.num_chunks) {
+        throw std::runtime_error("net: job carries malformed chunk range [" +
+                                 std::to_string(job.chunk_begin) + ", " +
+                                 std::to_string(job.chunk_end) + ") of " +
+                                 std::to_string(job.num_chunks) + " chunks");
+    }
+    return job;
+}
+
+std::vector<u8> encode_report(const dist::RankReport& report) {
+    // The report payload is the pipe transport's serialize_report bytes,
+    // prefixed with the type tag — one serializer, two transports.
+    std::vector<u8> out;
+    bytes::put_u64(out, static_cast<u64>(Msg::report));
+    const std::vector<u8> body = dist::serialize_report(report);
+    out.insert(out.end(), body.begin(), body.end());
+    return out;
+}
+
+dist::RankReport decode_report(const std::vector<u8>& payload) {
+    const u8* p   = payload.data();
+    const u8* end = p + payload.size();
+    expect_type(p, end, Msg::report);
+    // deserialize_report validates full consumption of its slice itself.
+    return dist::deserialize_report(std::vector<u8>(p, end));
+}
+
+std::vector<u8> encode_file_header(const FileHeader& header) {
+    std::vector<u8> out;
+    bytes::put_u64(out, static_cast<u64>(Msg::file));
+    bytes::put_u64(out, header.edges);
+    bytes::put_u64(out, header.payload_bytes);
+    return out;
+}
+
+FileHeader decode_file_header(const std::vector<u8>& payload) {
+    const u8* p   = payload.data();
+    const u8* end = p + payload.size();
+    expect_type(p, end, Msg::file);
+    FileHeader header;
+    header.edges         = bytes::get_u64(p, end);
+    header.payload_bytes = bytes::get_u64(p, end);
+    expect_consumed(p, end, Msg::file);
+    return header;
+}
+
+std::vector<u8> encode_file_info(const FileInfo& info) {
+    std::vector<u8> out;
+    bytes::put_u64(out, static_cast<u64>(Msg::file_info));
+    bytes::put_string(out, info.path);
+    bytes::put_u64(out, info.edges);
+    bytes::put_u64(out, info.bytes);
+    return out;
+}
+
+FileInfo decode_file_info(const std::vector<u8>& payload) {
+    const u8* p   = payload.data();
+    const u8* end = p + payload.size();
+    expect_type(p, end, Msg::file_info);
+    FileInfo info;
+    info.path  = bytes::get_string(p, end);
+    info.edges = bytes::get_u64(p, end);
+    info.bytes = bytes::get_u64(p, end);
+    expect_consumed(p, end, Msg::file_info);
+    return info;
+}
+
+} // namespace kagen::net

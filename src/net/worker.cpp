@@ -1,0 +1,179 @@
+#include "net/worker.hpp"
+
+#include <atomic>
+#include <cerrno>
+#include <csignal>
+#include <cstdlib>
+#include <cstring>
+#include <stdexcept>
+
+#include <fcntl.h>
+#include <limits.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include "dist/ipc.hpp"
+#include "kagen.hpp"
+#include "net/protocol.hpp"
+#include "net/socket.hpp"
+
+namespace kagen::net {
+namespace {
+
+[[noreturn]] void throw_errno(const std::string& what) {
+    throw std::runtime_error("net worker: " + what + ": " +
+                             std::strerror(errno));
+}
+
+/// Distinguishes concurrent workers inside one process (tests run several
+/// worker threads); the pid alone covers concurrent processes.
+std::atomic<u64> g_job_counter{0};
+
+std::string scratch_base(const NetWorkerOptions& opt) {
+    if (!opt.scratch_dir.empty()) return opt.scratch_dir;
+    const char* tmpdir = std::getenv("TMPDIR");
+    return tmpdir && *tmpdir ? tmpdir : "/tmp";
+}
+
+/// Opens the rank file, validates its header and size against the report
+/// (the same checks the fork coordinator's append_rank_file runs — here
+/// they run worker-side, before any byte crosses the wire), and leaves the
+/// offset past the 8-byte header. Returns the fd.
+int open_validated_rank_file(const std::string& path, u64 expected_edges) {
+    const int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+    if (fd < 0) throw_errno("cannot reopen rank file '" + path + "'");
+    try {
+        u64 header = 0;
+        if (!dist::read_exact(fd, &header, sizeof(header))) {
+            throw std::runtime_error("net worker: rank file '" + path +
+                                     "' has no header");
+        }
+        if (header != expected_edges) {
+            throw std::runtime_error(
+                "net worker: rank file '" + path + "' header claims " +
+                std::to_string(header) + " edges, the run produced " +
+                std::to_string(expected_edges));
+        }
+        struct stat st{};
+        if (::fstat(fd, &st) != 0) throw_errno("fstat '" + path + "'");
+        const u64 expected_bytes = 8 + 16 * expected_edges;
+        if (static_cast<u64>(st.st_size) != expected_bytes) {
+            throw std::runtime_error(
+                "net worker: rank file '" + path + "' is " +
+                std::to_string(st.st_size) + " bytes, expected " +
+                std::to_string(expected_bytes));
+        }
+    } catch (...) {
+        ::close(fd);
+        throw;
+    }
+    return fd;
+}
+
+std::string absolute_path(const std::string& path) {
+    char buf[PATH_MAX];
+    if (::realpath(path.c_str(), buf) != nullptr) return buf;
+    return path; // diagnostics-quality fallback; the file provably exists
+}
+
+} // namespace
+
+int run_net_worker(const std::string& endpoint_spec,
+                   const NetWorkerOptions& opt) {
+    // A coordinator that died mid-conversation must surface as an EPIPE
+    // error from send, not kill the worker with SIGPIPE (same policy as the
+    // forked workers'). MSG_NOSIGNAL covers frame sends; the rank-file
+    // stream goes through plain write(2) in fileio::copy_bytes.
+    ::signal(SIGPIPE, SIG_IGN);
+
+    const Endpoint ep = parse_endpoint(endpoint_spec);
+    Socket sock;
+    if (ep.host.empty()) {
+        Listener listener(ep);
+        sock = listener.accept(opt.connect_timeout_ms);
+    } else {
+        sock = connect_to(ep, opt.connect_timeout_ms);
+    }
+
+    // Two-way hello before any state exists on either side.
+    sock.send_frame(encode_hello());
+    std::vector<u8> payload;
+    if (!sock.recv_frame(payload, opt.connect_timeout_ms)) {
+        throw std::runtime_error(
+            "net worker: coordinator closed the connection during handshake");
+    }
+    decode_hello(payload);
+
+    if (!sock.recv_frame(payload, opt.io_deadline_ms)) {
+        throw std::runtime_error(
+            "net worker: coordinator closed the connection before sending a job");
+    }
+    const JobSpec job = decode_job(payload);
+
+    std::string rank_path;
+    if (job.want_file) {
+        rank_path = scratch_base(opt) + "/kagen_net." +
+                    std::to_string(::getpid()) + "." +
+                    std::to_string(g_job_counter.fetch_add(1)) + ".rank" +
+                    std::to_string(job.rank) + ".bin";
+    }
+
+    dist::RankReport report;
+    report.rank        = job.rank;
+    report.chunk_begin = job.chunk_begin;
+    report.chunk_end   = job.chunk_end;
+    try {
+        if (opt.rank_hook) opt.rank_hook(job.rank);
+        dist::RankJob rj;
+        rj.rank         = job.rank;
+        rj.num_chunks   = job.num_chunks;
+        rj.chunk_begin  = job.chunk_begin;
+        rj.chunk_end    = job.chunk_end;
+        rj.threads      = job.threads;
+        rj.degree_stats = job.degree_stats;
+        rj.rank_path    = rank_path;
+        report          = dist::execute_rank_job(job.cfg, rj);
+    } catch (const std::exception& e) {
+        report.ok    = false;
+        report.error = e.what();
+    } catch (...) {
+        report.ok    = false;
+        report.error = "unknown exception";
+    }
+
+    if (!report.ok && !rank_path.empty()) ::unlink(rank_path.c_str());
+
+    sock.send_frame(encode_report(report));
+    if (!report.ok) return 1;
+
+    if (job.want_file && job.send_file) {
+        // Gather mode: validate, announce, stream the payload (header
+        // stripped — the coordinator writes one global header), discard.
+        const int fd = open_validated_rank_file(rank_path, report.file_edges);
+        try {
+            FileHeader header;
+            header.edges         = report.file_edges;
+            header.payload_bytes = 16 * report.file_edges;
+            sock.send_frame(encode_file_header(header));
+            sock.send_payload_from(fd, header.payload_bytes);
+        } catch (...) {
+            ::close(fd);
+            ::unlink(rank_path.c_str());
+            throw;
+        }
+        ::close(fd);
+        ::unlink(rank_path.c_str());
+    } else if (job.want_file) {
+        // Manifest mode: keep the rank file node-local, report where it is.
+        const int fd = open_validated_rank_file(rank_path, report.file_edges);
+        ::close(fd); // open only for the validation
+        FileInfo info;
+        info.path  = absolute_path(rank_path);
+        info.edges = report.file_edges;
+        info.bytes = 8 + 16 * report.file_edges;
+        sock.send_frame(encode_file_info(info));
+    }
+    return 0;
+}
+
+} // namespace kagen::net

@@ -1,0 +1,45 @@
+/// \file worker.hpp
+/// \brief TCP worker of the multi-node backend: one connection, one job,
+///        one report — then exit.
+///
+/// `run_net_worker` is everything behind `kagen_tool -worker host:port`: it
+/// reaches the coordinator (dialing "host:port", or — with an empty host,
+/// ":port" — listening for the coordinator to dial in, the `-connect`
+/// counterpart), handshakes, receives one serialized job, runs exactly the
+/// rank-execution core the forked backend runs (`dist::execute_rank_job`,
+/// which is why the two backends are byte-identical), and streams back the
+/// framed RankReport plus — in gather mode — the rank file. A job that
+/// throws is reported as a failure frame (ok == false with the message), so
+/// the coordinator can name the rank; only then does the worker exit
+/// nonzero. Transport failures (coordinator gone, torn frame, deadline)
+/// throw out of `run_net_worker` for the caller to print.
+#pragma once
+
+#include <functional>
+#include <string>
+
+#include "common/types.hpp"
+
+namespace kagen::net {
+
+struct NetWorkerOptions {
+    std::string scratch_dir;       ///< rank-file location; empty = $TMPDIR
+    int connect_timeout_ms = 10000; ///< connect/accept + handshake deadline
+    int io_deadline_ms     = 0;     ///< job-frame receive deadline; 0 = none
+                                    ///< (the coordinator sends jobs only
+                                    ///< after every worker connected, so
+                                    ///< this waits on the slowest peer)
+
+    /// Test instrumentation, mirror of DistOptions::rank_hook: invoked with
+    /// the assigned rank after the job decodes, before any generation.
+    std::function<void(u64 rank)> rank_hook;
+};
+
+/// Runs one worker against `endpoint_spec` ("host:port" to dial the
+/// coordinator, ":port" to listen for it). Returns the process exit code
+/// (0 = job succeeded, 1 = job failed but was reported); throws
+/// std::runtime_error on transport failures.
+int run_net_worker(const std::string& endpoint_spec,
+                   const NetWorkerOptions& opts = {});
+
+} // namespace kagen::net
