@@ -1,0 +1,59 @@
+# clang-tidy gate runner (DESIGN.md §12). Invoked as a ctest:
+#
+#   cmake -DCLANG_TIDY=<exe> -DSOURCE_DIR=<repo> -DBUILD_DIR=<build>
+#         -P cmake/check_tidy.cmake
+#
+# Runs clang-tidy (config: the committed .clang-tidy, found by proximity
+# to the sources) over every .cpp under src/ using the build tree's
+# compile_commands.json, and fails if any file produces a diagnostic.
+# WarningsAsErrors: '*' in .clang-tidy makes every finding fatal, so the
+# exit code of each clang-tidy invocation is the verdict. Suppressions
+# live inline as NOLINT(check-name) with a trailing reason comment —
+# never in this runner — so every waiver is visible at the waived line.
+
+foreach(var CLANG_TIDY SOURCE_DIR BUILD_DIR)
+    if(NOT DEFINED ${var})
+        message(FATAL_ERROR "check_tidy.cmake: -D${var}=... is required")
+    endif()
+endforeach()
+
+if(NOT EXISTS ${BUILD_DIR}/compile_commands.json)
+    message(FATAL_ERROR
+            "check_tidy.cmake: ${BUILD_DIR}/compile_commands.json missing — "
+            "configure the build tree first (CMAKE_EXPORT_COMPILE_COMMANDS "
+            "is ON by default in this project)")
+endif()
+
+file(GLOB_RECURSE tidy_sources ${SOURCE_DIR}/src/*.cpp)
+list(SORT tidy_sources)
+list(LENGTH tidy_sources n_sources)
+if(n_sources EQUAL 0)
+    message(FATAL_ERROR "check_tidy.cmake: no sources found under ${SOURCE_DIR}/src")
+endif()
+message(STATUS "clang-tidy gate: ${n_sources} files, config ${SOURCE_DIR}/.clang-tidy")
+
+set(failed_files "")
+foreach(src IN LISTS tidy_sources)
+    execute_process(
+        COMMAND ${CLANG_TIDY} -p ${BUILD_DIR} --quiet ${src}
+        RESULT_VARIABLE rc
+        OUTPUT_VARIABLE out
+        ERROR_VARIABLE err)
+    if(NOT rc EQUAL 0)
+        list(APPEND failed_files ${src})
+        message(STATUS "FAIL ${src}")
+        message(STATUS "${out}")
+        # stderr carries "N warnings treated as errors" — noise unless the
+        # file failed, in which case it helps locate suppressed-vs-live.
+        message(STATUS "${err}")
+    endif()
+endforeach()
+
+list(LENGTH failed_files n_failed)
+if(n_failed GREATER 0)
+    message(FATAL_ERROR
+            "clang-tidy gate: ${n_failed}/${n_sources} files have findings "
+            "(see FAIL lines above). Fix them, or suppress inline with "
+            "NOLINT(check-name) plus a reason comment.")
+endif()
+message(STATUS "clang-tidy gate: all ${n_sources} files clean")

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cerrno>
+#include <cstdio>
 #include <cstring>
 #include <stdexcept>
 #include <vector>
@@ -40,6 +41,30 @@ u64 copy_user(int in_fd, int out_fd, u64 length) {
 }
 
 } // namespace
+
+void close_or_warn(int fd, const char* what) noexcept {
+    if (fd < 0) return;
+    if (::close(fd) != 0) {
+        // errno is preserved for the message but NOT for the caller: these
+        // call sites are cleanup paths where the original error (if any) is
+        // already in flight and must not be clobbered silently — hence the
+        // save/restore.
+        const int saved = errno;
+        std::fprintf(stderr, "kagen: warning: close(%s) failed: %s\n", what,
+                     std::strerror(saved));
+        errno = saved;
+    }
+}
+
+void unlink_or_warn(const char* path, const char* what) noexcept {
+    if (path == nullptr || *path == '\0') return;
+    if (::unlink(path) != 0 && errno != ENOENT) {
+        const int saved = errno;
+        std::fprintf(stderr, "kagen: warning: unlink(%s: %s) failed: %s\n",
+                     what, path, std::strerror(saved));
+        errno = saved;
+    }
+}
 
 void write_all(int fd, const void* data, std::size_t bytes) {
     const char* p = static_cast<const char*>(data);

@@ -23,6 +23,22 @@ namespace kagen::fileio {
 /// writes. Throws std::runtime_error (with errno text) on failure.
 void write_all(int fd, const void* data, std::size_t bytes);
 
+/// Closes `fd` (if >= 0) on a path where failure cannot change the
+/// outcome — destructors, error-unwind cleanup, read-only descriptors —
+/// and reports a failure to stderr instead of swallowing it. close(2)
+/// releases the descriptor even when it fails, so no retry is possible;
+/// data-bearing descriptors must instead use a *checked* close before
+/// declaring the data durable (see BinaryFileSink::finish and the
+/// runner's merged-output close). `what` names the descriptor for the
+/// diagnostic.
+void close_or_warn(int fd, const char* what) noexcept;
+
+/// unlink(2) for best-effort cleanup of scratch/partial files: ENOENT is
+/// silent (already gone — the common double-cleanup case), every other
+/// failure is reported to stderr. Never throws; callers on cleanup paths
+/// cannot do anything better than proceed.
+void unlink_or_warn(const char* path, const char* what) noexcept;
+
 /// Outcome of one copy_bytes call.
 struct CopyStats {
     u64 bytes_copied = 0; ///< total bytes moved (== requested length)

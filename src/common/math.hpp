@@ -69,4 +69,31 @@ inline constexpr u64 block_owner(u64 n, u64 parts, u64 i) {
     return i < split ? i / (q + 1) : (q == 0 ? parts - 1 : big + (i - split) / q);
 }
 
+/// log(Gamma(x)) without the libm `signgam` side channel. std::lgamma
+/// WRITES the global `signgam` variable on every call — a data race (found
+/// by TSan; DESIGN.md §12) once worker threads evaluate lgamma concurrently,
+/// as the hypergeometric samplers do on every chunk. The sampler arguments
+/// are always > 0, where Gamma is positive and the sign output is dead, so
+/// the reentrant glibc lgamma_r family is a drop-in: bit-identical return
+/// values (same algorithm, sign delivered via the out-parameter instead of
+/// the global). Non-glibc fallback keeps std::lgamma — single-threaded
+/// platforms or ones whose lgamma is already signgam-free.
+inline double lgamma_threadsafe(double x) {
+#if defined(__GLIBC__)
+    int sign = 0;
+    return ::lgamma_r(x, &sign);
+#else
+    return std::lgamma(x);
+#endif
+}
+
+inline long double lgamma_threadsafe(long double x) {
+#if defined(__GLIBC__)
+    int sign = 0;
+    return ::lgammal_r(x, &sign);
+#else
+    return std::lgamma(x);
+#endif
+}
+
 } // namespace kagen

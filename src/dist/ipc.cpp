@@ -8,6 +8,7 @@
 #include <unistd.h>
 
 #include "common/bytes.hpp"
+#include "common/fileio.hpp"
 
 namespace kagen::dist {
 namespace {
@@ -107,12 +108,14 @@ StatsPipe::~StatsPipe() {
 }
 
 void StatsPipe::close_read() {
-    if (read_fd_ >= 0) ::close(read_fd_);
+    // Pipe halves carry no durable data; a close error is a logic bug
+    // (double close) worth a warning, never a recoverable condition.
+    fileio::close_or_warn(read_fd_, "stats pipe (read half)");
     read_fd_ = -1;
 }
 
 void StatsPipe::close_write() {
-    if (write_fd_ >= 0) ::close(write_fd_);
+    fileio::close_or_warn(write_fd_, "stats pipe (write half)");
     write_fd_ = -1;
 }
 

@@ -104,7 +104,8 @@ private:
     } catch (...) {
         exit_code = 1; // coordinator gone; nothing left to report to
     }
-    ::close(write_fd);
+    // The process is about to _exit; the pipe fd dies with it either way.
+    fileio::close_or_warn(write_fd, "stats pipe");
     ::_exit(exit_code);
 }
 
@@ -115,7 +116,8 @@ struct Worker {
 };
 
 void remove_file(const std::string& path) {
-    if (!path.empty()) ::unlink(path.c_str());
+    // Cleanup of partial/temporary files on failure paths: best effort.
+    fileio::unlink_or_warn(path.c_str(), "partial output");
 }
 
 /// Human-readable death cause from a waitpid status.
@@ -157,7 +159,7 @@ fileio::CopyStats append_rank_file(int out_fd, const std::string& rank_path,
     if (fd < 0) throw_errno("cannot reopen rank file '" + rank_path + "'");
     struct FdGuard {
         int fd;
-        ~FdGuard() { ::close(fd); }
+        ~FdGuard() { fileio::close_or_warn(fd, "rank file"); }
     } guard{fd};
 
     u64 header = 0;
@@ -416,7 +418,7 @@ DistResult run_distributed(const Config& cfg, const DistOptions& opts) {
                     result.copy_file_range_bytes += copied.cfr_bytes;
                 }
             } catch (...) {
-                ::close(out_fd);
+                fileio::close_or_warn(out_fd, "merged output (error unwind)");
                 throw;
             }
             // Close outside the try: close(2) releases the descriptor even

@@ -105,8 +105,8 @@ public:
     }
 
     /// Grid coordinates of the cell containing `pos`.
-    std::array<u64, D> cell_coords_of(const Vec<D>& pos) const {
-        std::array<u64, D> c;
+    std::array<u64, static_cast<std::size_t>(D)> cell_coords_of(const Vec<D>& pos) const {
+        std::array<u64, static_cast<std::size_t>(D)> c;
         for (int d = 0; d < D; ++d) {
             auto v = static_cast<i64>(pos[d] * static_cast<double>(cells_per_dim()));
             c[d]   = static_cast<u64>(std::clamp<i64>(v, 0, static_cast<i64>(cells_per_dim()) - 1));

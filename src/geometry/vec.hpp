@@ -4,6 +4,7 @@
 
 #include <array>
 #include <cmath>
+#include <cstddef>
 
 #include "common/types.hpp"
 
@@ -11,7 +12,7 @@ namespace kagen {
 
 template <int D>
 struct Vec {
-    std::array<double, D> x{};
+    std::array<double, static_cast<std::size_t>(D)> x{};
 
     double& operator[](int i) { return x[i]; }
     double operator[](int i) const { return x[i]; }

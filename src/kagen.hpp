@@ -212,7 +212,16 @@ inline Config decode_config(const u8*& p, const u8* end) {
     cfg.max_buffered_bytes = bytes::get_u64(p, end);
     cfg.spill_path         = bytes::get_string(p, end);
     cfg.sink_buffer_edges  = bytes::get_u64(p, end);
-    cfg.pin_threads        = bytes::get_u64(p, end) != 0;
+    const u64 pin          = bytes::get_u64(p, end);
+    if (pin > 1) {
+        // Encoded bytes double as the config's content-address, so decode
+        // must accept only the canonical encoding: a bool travels as 0 or 1,
+        // never as "any nonzero word" (two byte strings must not alias one
+        // config).
+        throw std::runtime_error("kagen: config carries non-canonical bool " +
+                                 std::to_string(pin));
+    }
+    cfg.pin_threads        = pin != 0;
     cfg.num_processes      = bytes::get_u64(p, end);
     const u64 sampler      = bytes::get_u64(p, end);
     if (sampler > static_cast<u64>(SamplerVersion::v2)) {

@@ -49,7 +49,8 @@ std::vector<u8> recv_message(Socket& sock, u64 rank, int deadline_ms,
 }
 
 void remove_file(const std::string& path) {
-    if (!path.empty()) ::unlink(path.c_str());
+    // Cleanup of partial output on an already-failing path: best effort.
+    fileio::unlink_or_warn(path.c_str(), "partial output");
 }
 
 void validate_options(const NetOptions& opt) {
@@ -295,7 +296,7 @@ NetResult run_net_coordinator(const Config& cfg, const NetOptions& opts) {
             }
         }
     } catch (...) {
-        if (out_fd >= 0) ::close(out_fd);
+        fileio::close_or_warn(out_fd, "merged output (error unwind)");
         if (gather) remove_file(opt.output_path);
         throw;
     }
@@ -330,11 +331,17 @@ NetResult run_net_coordinator(const Config& cfg, const NetOptions& opts) {
                          static_cast<unsigned long long>(e.bytes));
         }
         if (std::fflush(mf) != 0 || std::ferror(mf)) {
-            std::fclose(mf);
+            (void)std::fclose(mf); // stream already failed; error in flight
             remove_file(opt.manifest_path);
             throw_errno("writing manifest '" + opt.manifest_path + "' failed");
         }
-        std::fclose(mf);
+        // The manifest is the run's deliverable in manifest mode: a close
+        // failure after a clean flush (deferred writeback error) must not
+        // leave a silently-corrupt file behind.
+        if (std::fclose(mf) != 0) {
+            remove_file(opt.manifest_path);
+            throw_errno("cannot close manifest '" + opt.manifest_path + "'");
+        }
     }
 
     if (!opt.dedup_path.empty()) {

@@ -128,7 +128,11 @@ Socket& Socket::operator=(Socket&& other) noexcept {
 }
 
 void Socket::close() {
-    if (fd_ >= 0) ::close(fd_);
+    // A TCP close error cannot be retried (the fd is released regardless)
+    // and the framing protocol never treats close as a delivery barrier —
+    // every payload is acknowledged at the protocol layer — so warn is the
+    // complete response. EBADF here would flag a double-close logic bug.
+    fileio::close_or_warn(fd_, "socket");
     fd_ = -1;
 }
 
@@ -299,7 +303,7 @@ Listener::Listener(const Endpoint& ep) {
         if (::bind(fd, ai->ai_addr, ai->ai_addrlen) != 0 ||
             ::listen(fd, 64) != 0) {
             last_error = std::strerror(errno);
-            ::close(fd);
+            fileio::close_or_warn(fd, "listener candidate");
             continue;
         }
         struct sockaddr_storage addr{};
@@ -321,7 +325,7 @@ Listener::Listener(const Endpoint& ep) {
 }
 
 Listener::~Listener() {
-    if (fd_ >= 0) ::close(fd_);
+    fileio::close_or_warn(fd_, "listener");
 }
 
 Socket Listener::accept(int timeout_ms) {

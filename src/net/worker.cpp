@@ -12,6 +12,7 @@
 #include <sys/stat.h>
 #include <unistd.h>
 
+#include "common/fileio.hpp"
 #include "dist/ipc.hpp"
 #include "kagen.hpp"
 #include "net/protocol.hpp"
@@ -64,7 +65,7 @@ int open_validated_rank_file(const std::string& path, u64 expected_edges) {
                 std::to_string(expected_bytes));
         }
     } catch (...) {
-        ::close(fd);
+        fileio::close_or_warn(fd, "rank file (validation failed)");
         throw;
     }
     return fd;
@@ -141,7 +142,9 @@ int run_net_worker(const std::string& endpoint_spec,
         report.error = "unknown exception";
     }
 
-    if (!report.ok && !rank_path.empty()) ::unlink(rank_path.c_str());
+    if (!report.ok) {
+        fileio::unlink_or_warn(rank_path.c_str(), "partial rank file");
+    }
 
     sock.send_frame(encode_report(report));
     if (!report.ok) return 1;
@@ -157,16 +160,18 @@ int run_net_worker(const std::string& endpoint_spec,
             sock.send_frame(encode_file_header(header));
             sock.send_payload_from(fd, header.payload_bytes);
         } catch (...) {
-            ::close(fd);
-            ::unlink(rank_path.c_str());
+            fileio::close_or_warn(fd, "rank file (stream failed)");
+            fileio::unlink_or_warn(rank_path.c_str(), "rank file");
             throw;
         }
-        ::close(fd);
-        ::unlink(rank_path.c_str());
+        // Read-only fd over already-durable data: close cannot fail in a
+        // way that matters; the unlink reclaims the gathered temp file.
+        fileio::close_or_warn(fd, "rank file");
+        fileio::unlink_or_warn(rank_path.c_str(), "rank file");
     } else if (job.want_file) {
         // Manifest mode: keep the rank file node-local, report where it is.
         const int fd = open_validated_rank_file(rank_path, report.file_edges);
-        ::close(fd); // open only for the validation
+        fileio::close_or_warn(fd, "rank file"); // open only for the validation
         FileInfo info;
         info.path  = absolute_path(rank_path);
         info.edges = report.file_edges;

@@ -27,6 +27,7 @@
 #include <functional>
 #include <vector>
 
+#include "common/math.hpp"
 #include "common/types.hpp"
 #include "prng/rng.hpp"
 #include "variates/batch.hpp"
@@ -159,9 +160,10 @@ void sorted_sample_v2_core(Rng& rng, u64 universe, u64 k, Emit&& emit) {
                 bot0  = nreal - skipreal - 1.0;
                 niter = kreal - 1.0;
             }
-            const double log_y2 =
-                std::lgamma(top0 + 1.0) - std::lgamma(top0 + 1.0 - niter) -
-                std::lgamma(bot0 + 1.0) + std::lgamma(bot0 + 1.0 - niter);
+            const double log_y2 = lgamma_threadsafe(top0 + 1.0) -
+                                  lgamma_threadsafe(top0 + 1.0 - niter) -
+                                  lgamma_threadsafe(bot0 + 1.0) +
+                                  lgamma_threadsafe(bot0 + 1.0 - niter);
             if (nreal / (nreal - x) >= y1 * std::exp(log_y2 * kmin1inv)) {
                 break; // accepted; the bottom-of-sample draw refreshes vprime
             }

@@ -1,6 +1,7 @@
 #include "sink/sinks.hpp"
 
 #include <algorithm>
+#include <cstdio>
 #include <stdexcept>
 #include <type_traits>
 
@@ -8,6 +9,7 @@
 #include <unistd.h>
 
 #include "common/bytes.hpp"
+#include "common/fileio.hpp"
 
 namespace kagen {
 
@@ -209,7 +211,7 @@ BinaryFileSink::BinaryFileSink(const std::string& path, std::size_t buffer_edges
         ::open(path.c_str(), O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC, 0644);
     file_ = fd >= 0 ? ::fdopen(fd, "wb") : nullptr;
     if (file_ == nullptr) {
-        if (fd >= 0) ::close(fd);
+        fileio::close_or_warn(fd, "output file (fdopen failed)");
         throw std::runtime_error("cannot open '" + path + "'");
     }
     // Large explicit stream buffer: emit batches (tens of KiB) coalesce
@@ -219,7 +221,9 @@ BinaryFileSink::BinaryFileSink(const std::string& path, std::size_t buffer_edges
     std::setvbuf(file_, stream_buffer_.get(), _IOFBF, kStreamBufferBytes);
     const u64 placeholder = 0; // patched by finish()
     if (std::fwrite(&placeholder, sizeof(placeholder), 1, file_) != 1) {
-        std::fclose(file_);
+        // Error unwind: the file holds nothing durable yet, so a close
+        // failure on top of the write failure adds no information.
+        (void)std::fclose(file_);
         file_ = nullptr;
         throw std::runtime_error("cannot write header of '" + path + "'");
     }
@@ -231,7 +235,15 @@ int BinaryFileSink::fd() const {
 }
 
 BinaryFileSink::~BinaryFileSink() {
-    if (file_ != nullptr) std::fclose(file_);
+    // Reached with file_ != nullptr only when finish() was never called —
+    // an abort/exception path where the output is already invalid (header
+    // still holds the placeholder count). finish() is where a close error
+    // must be (and is) surfaced; here a warning is all a destructor can do.
+    if (file_ != nullptr && std::fclose(file_) != 0) {
+        std::fprintf(stderr,
+                     "kagen: warning: close of abandoned output '%s' failed\n",
+                     path_.c_str());
+    }
 }
 
 void BinaryFileSink::consume(const Edge* edges, std::size_t count) {

@@ -10,6 +10,8 @@
 #include <fcntl.h>
 #include <unistd.h>
 
+#include "common/fileio.hpp"
+
 namespace kagen::spill {
 namespace {
 
@@ -70,7 +72,7 @@ SpillFile::SpillFile(const std::string& path) {
         // into subprocesses spawned by this process.
         fd_ = ::mkostemp(buf.data(), O_CLOEXEC);
         if (fd_ < 0) throw_errno("cannot create temp file in '" + tmpl + "'");
-        ::unlink(buf.data());
+        fileio::unlink_or_warn(buf.data(), "anonymous spill scratch");
     } else {
         fd_ = ::open(path.c_str(), O_RDWR | O_CREAT | O_TRUNC | O_CLOEXEC, 0600);
         if (fd_ < 0) throw_errno("cannot open '" + path + "'");
@@ -79,8 +81,11 @@ SpillFile::SpillFile(const std::string& path) {
 }
 
 SpillFile::~SpillFile() {
-    if (fd_ >= 0) ::close(fd_);
-    if (!path_.empty()) ::unlink(path_.c_str());
+    // Scratch data only: everything in the file has already been read back
+    // (or the run is aborting), so a failed close/unlink cannot lose user
+    // data — warn-and-continue is the strongest response available here.
+    fileio::close_or_warn(fd_, "spill file");
+    if (!path_.empty()) fileio::unlink_or_warn(path_.c_str(), "spill file");
 }
 
 SpillFile::Segment SpillFile::append(const Edge* edges, std::size_t count) {

@@ -4,6 +4,8 @@
 #include <cassert>
 #include <cmath>
 
+#include "common/math.hpp"
+
 namespace kagen {
 namespace {
 
@@ -82,16 +84,18 @@ u64 hypergeometric_inversion(Rng& rng, double total, double success, double n) {
     const double kmax = std::min(n, success);
     // log pmf at kmin via lgamma:
     // p(k) = C(success, k) C(fail, n-k) / C(total, n)
+    // lgamma_threadsafe, not std::lgammal: the latter races on the shared
+    // libm `signgam` global under concurrent chunks (common/math.hpp).
     const long double logp0 =
-        std::lgammal(static_cast<long double>(success) + 1) -
-        std::lgammal(static_cast<long double>(kmin) + 1) -
-        std::lgammal(static_cast<long double>(success - kmin) + 1) +
-        std::lgammal(static_cast<long double>(fail) + 1) -
-        std::lgammal(static_cast<long double>(n - kmin) + 1) -
-        std::lgammal(static_cast<long double>(fail - n + kmin) + 1) -
-        (std::lgammal(static_cast<long double>(total) + 1) -
-         std::lgammal(static_cast<long double>(n) + 1) -
-         std::lgammal(static_cast<long double>(total - n) + 1));
+        lgamma_threadsafe(static_cast<long double>(success) + 1) -
+        lgamma_threadsafe(static_cast<long double>(kmin) + 1) -
+        lgamma_threadsafe(static_cast<long double>(success - kmin) + 1) +
+        lgamma_threadsafe(static_cast<long double>(fail) + 1) -
+        lgamma_threadsafe(static_cast<long double>(n - kmin) + 1) -
+        lgamma_threadsafe(static_cast<long double>(fail - n + kmin) + 1) -
+        (lgamma_threadsafe(static_cast<long double>(total) + 1) -
+         lgamma_threadsafe(static_cast<long double>(n) + 1) -
+         lgamma_threadsafe(static_cast<long double>(total - n) + 1));
     double f   = static_cast<double>(std::exp(logp0));
     double u   = rng.uniform();
     double k   = kmin;
@@ -122,7 +126,11 @@ u64 hypergeometric_hrua(Rng& rng, double total, double success, double n) {
     // magnitude grows with the population while the difference stays O(1);
     // long double keeps ~3 extra decimal digits, which keeps the sampler
     // unbiased for populations up to the 2^50 routing threshold.
-    auto lgl = [](double v) { return std::lgammal(static_cast<long double>(v)); };
+    // signgam-free lgamma (common/math.hpp): std::lgammal writes the shared
+    // libm global on every call, racing across worker threads.
+    auto lgl = [](double v) {
+        return lgamma_threadsafe(static_cast<long double>(v));
+    };
 
     const double d4       = mingoodbad / total;
     const double d5       = 1.0 - d4;

@@ -10,6 +10,7 @@
 #include <map>
 #include <numeric>
 
+#include "common/math.hpp"
 #include "testing.hpp"
 #include "variates/batch.hpp"
 #include "variates/exp_fill.hpp"
@@ -322,6 +323,33 @@ TEST(BatchedVariates, ExponentialStreamIsDeterministic) {
     BatchedVariates va(a), vb(b);
     for (int i = 0; i < 700; ++i) {
         EXPECT_EQ(va.exponential(), vb.exponential()) << "draw " << i;
+    }
+}
+
+// Regression for the signgam data race (DESIGN.md §12): the hypergeometric
+// samplers switched from std::lgamma/std::lgammal — which write the shared
+// libm `signgam` global on every call, a TSan-reported race across worker
+// threads — to lgamma_threadsafe (glibc lgamma_r family). The swap is only
+// sound for the frozen golden fixtures if the return values are
+// bit-identical over the samplers' argument domain (positive reals), which
+// this sweep pins for both precisions.
+TEST(LgammaThreadsafe, BitIdenticalToLibmOnPositiveDomain) {
+    for (double x : {0.5, 1.0, 1.5, 2.0, 9.0, 10.0, 256.75, 1e4, 1e8,
+                     1.125e15, 9.0071992547409925e15}) {
+        const double ours  = lgamma_threadsafe(x);
+        const double libms = std::lgamma(x);
+        EXPECT_EQ(ours, libms) << "double x=" << x;
+
+        const auto xl     = static_cast<long double>(x);
+        const auto oursl  = lgamma_threadsafe(xl);
+        const auto libmsl = std::lgamma(xl);
+        EXPECT_EQ(oursl, libmsl) << "long double x=" << x;
+    }
+    // Dense sweep across the small-argument region the inversion sampler
+    // hits hardest (lgamma(k + 1) for support walks).
+    for (int i = 1; i <= 4096; ++i) {
+        const auto x = static_cast<long double>(i) * 0.25L;
+        EXPECT_EQ(lgamma_threadsafe(x), std::lgamma(x)) << "x=" << x;
     }
 }
 
