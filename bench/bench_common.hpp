@@ -16,8 +16,10 @@
 
 #include <atomic>
 #include <cstdio>
+#include <cstdlib>
 
 #include "kagen.hpp"
+#include "obs/trace.hpp"
 #include "pe/pe.hpp"
 #include "sink/sinks.hpp"
 
@@ -78,12 +80,31 @@ inline double engine_scaling_run(benchmark::State& state, const Config& cfg, u64
 
 } // namespace kagen::bench
 
+namespace kagen::bench {
+
+/// KAGEN_OBS_FORCE=1 arms the trace recorder for the whole benchmark
+/// process. Running the same binary twice — once bare, once with the env
+/// var — and diffing the two JSON files with bench_delta.py --fail-above
+/// measures the telemetry overhead on the identical workload (the CI
+/// perf-smoke job gates this at 3%; DESIGN.md §13).
+inline void arm_telemetry_from_env() {
+    const char* force = std::getenv("KAGEN_OBS_FORCE");
+    if (force != nullptr && force[0] != '\0' && force[0] != '0') {
+        obs::TraceRecorder::global().enable(true);
+        std::fputs("telemetry: trace recorder armed (KAGEN_OBS_FORCE)\n",
+                   stderr);
+    }
+}
+
+} // namespace kagen::bench
+
 /// Defines main(): prints the figure banner, then runs the benchmarks.
 /// The banner goes to stderr so `--benchmark_format=json > out.json`
 /// (the CI dist-bench artifact) stays machine-parseable.
 #define KAGEN_BENCH_MAIN(banner)                                   \
     int main(int argc, char** argv) {                              \
         std::fputs(banner "\n", stderr);                           \
+        kagen::bench::arm_telemetry_from_env();                    \
         benchmark::Initialize(&argc, argv);                        \
         if (benchmark::ReportUnrecognizedArguments(argc, argv)) {  \
             return 1;                                              \

@@ -26,6 +26,7 @@ set(EXPECTED_FLAGS
     -ranks -threads-per-rank -keep-rank-files
     -listen -connect -expect-workers -manifest -net-timeout -net-deadline
     -worker -worker-scratch
+    -trace -metrics -v
     -help)
 set(EXPECTED_GROUPS
     "Model parameters"
@@ -36,7 +37,8 @@ set(EXPECTED_GROUPS
     "External-memory dedup"
     "Distributed backend"
     "Multi-node TCP backend"
-    "Worker mode")
+    "Worker mode"
+    "Telemetry")
 set(EXPECTED_MODELS
     gnm_directed gnm_undirected gnp_directed gnp_undirected
     rgg2d rgg3d rdg2d rdg3d rhg rhg_streaming ba rmat)

@@ -44,10 +44,48 @@
 #include "kagen.hpp"
 #include "net/coordinator.hpp"
 #include "net/worker.hpp"
+#include "obs/metrics.hpp"
 
 using namespace kagen;
 
 namespace {
+
+u64 g_verbose = 0; // -v LEVEL
+
+// Engine-stats tail shared by every file-producing backend. The TCP
+// summary used to print only merged_bytes, silently dropping the
+// spill/recycle/zero-copy accounting the fork backend reported — one
+// formatter keeps the backends honest about the same fields.
+std::string engine_stats_str(u64 peak_buffered, u64 spilled_chunks,
+                             u64 spilled_bytes, u64 buffers_recycled,
+                             u64 merged_bytes, u64 cfr_bytes) {
+    char buf[320];
+    std::snprintf(buf, sizeof(buf),
+                  "peak_buffered_bytes=%llu spilled_chunks=%llu "
+                  "spilled_bytes=%llu buffers_recycled=%llu merged_bytes=%llu "
+                  "copy_file_range_bytes=%llu",
+                  static_cast<unsigned long long>(peak_buffered),
+                  static_cast<unsigned long long>(spilled_chunks),
+                  static_cast<unsigned long long>(spilled_bytes),
+                  static_cast<unsigned long long>(buffers_recycled),
+                  static_cast<unsigned long long>(merged_bytes),
+                  static_cast<unsigned long long>(cfr_bytes));
+    return buf;
+}
+
+// -v: per-worker pool utilization (busy ns, tasks, steal counters) straight
+// from the metrics registry. In-process pools only — forked/TCP workers
+// count in their own address space; use -metrics for the merged view.
+void print_verbose_metrics() {
+    if (g_verbose == 0) return;
+    const obs::Snapshot snap = obs::Registry::global().snapshot();
+    for (const auto& [name, c] : snap.counters) {
+        if (name.rfind("pool.", 0) == 0) {
+            std::printf("%s=%llu\n", name.c_str(),
+                        static_cast<unsigned long long>(c.value));
+        }
+    }
+}
 
 void print_help(std::FILE* out, const char* argv0) {
     std::fprintf(out,
@@ -130,6 +168,14 @@ void print_help(std::FILE* out, const char* argv0) {
         "  -worker H:P    connect to the coordinator at host:port, or with an\n"
         "              empty host (\":P\") listen for the coordinator to dial in\n"
         "  -worker-scratch DIR   rank-file scratch location (default $TMPDIR)\n"
+        "\n"
+        "Telemetry (trace spans + metrics registry; DESIGN.md section 13):\n"
+        "  -trace FILE    write a merged Chrome trace_event JSON timeline with\n"
+        "              spans from every rank (load in Perfetto or\n"
+        "              chrome://tracing); works on all -sink backends\n"
+        "  -metrics FILE  write the merged metrics-registry snapshot as JSON\n"
+        "  -v LEVEL    1: also print per-worker pool utilization counters\n"
+        "              after the run (default 0)\n"
         "\n"
         "Help:\n"
         "  -help       this reference\n",
@@ -255,18 +301,16 @@ int run_distributed_sink(const Config& cfg, const std::string& kind, u64 ranks,
         return 0;
     }
     std::printf("model=%s n=%llu edges[%s]=%llu -> %s (binary) ranks=%llu "
-                "chunks=%llu seconds=%.6f spilled_chunks=%llu spilled_bytes=%llu "
-                "merged_bytes=%llu copy_file_range_bytes=%llu "
-                "copy_file_range_used=%d\n",
+                "chunks=%llu seconds=%.6f %s copy_file_range_used=%d\n",
                 model_name(cfg.model), static_cast<unsigned long long>(res.n),
                 semantics_name(cfg.edge_semantics),
                 static_cast<unsigned long long>(res.edges_written), out_path,
                 static_cast<unsigned long long>(res.num_ranks),
                 static_cast<unsigned long long>(res.num_chunks), res.seconds,
-                static_cast<unsigned long long>(res.spilled_chunks),
-                static_cast<unsigned long long>(res.spilled_bytes),
-                static_cast<unsigned long long>(res.merged_bytes),
-                static_cast<unsigned long long>(res.copy_file_range_bytes),
+                engine_stats_str(res.peak_buffered_bytes, res.spilled_chunks,
+                                 res.spilled_bytes, res.buffers_recycled,
+                                 res.merged_bytes, res.copy_file_range_bytes)
+                    .c_str(),
                 res.copy_file_range_used() ? 1 : 0);
     if (dedup_out != nullptr) {
         std::printf("dedup -> %s unique_edges=%llu sort_memory_bytes=%llu\n",
@@ -327,13 +371,16 @@ int run_net_sink(const Config& cfg, const std::string& kind,
         return 0;
     }
     std::printf("model=%s n=%llu edges[%s]=%llu -> %s (binary) workers=%llu "
-                "chunks=%llu seconds=%.6f merged_bytes=%llu\n",
+                "chunks=%llu seconds=%.6f %s\n",
                 model_name(cfg.model), static_cast<unsigned long long>(res.n),
                 semantics_name(cfg.edge_semantics),
                 static_cast<unsigned long long>(res.edges_written), out_path,
                 static_cast<unsigned long long>(res.num_workers),
                 static_cast<unsigned long long>(res.num_chunks), res.seconds,
-                static_cast<unsigned long long>(res.merged_bytes));
+                engine_stats_str(res.peak_buffered_bytes, res.spilled_chunks,
+                                 res.spilled_bytes, res.buffers_recycled,
+                                 res.merged_bytes, 0)
+                    .c_str());
     if (dedup_out != nullptr) {
         std::printf("dedup -> %s unique_edges=%llu sort_memory_bytes=%llu\n",
                     dedup_out, static_cast<unsigned long long>(res.dedup_edges),
@@ -595,6 +642,9 @@ int main(int argc, char** argv) {
             net_opts.connect_timeout_ms = parse_timeout_ms(flag, val);
         else if (flag == "-net-deadline")
             net_opts.job_deadline_ms = parse_timeout_ms(flag, val);
+        else if (flag == "-trace") cfg.trace_path = val;
+        else if (flag == "-metrics") cfg.metrics_path = val;
+        else if (flag == "-v") g_verbose = parse_u64(flag, val);
         else {
             std::fprintf(stderr, "unknown flag '%s' (try -help)\n", flag.c_str());
             return 2;
@@ -644,24 +694,33 @@ int main(int argc, char** argv) {
         std::fprintf(stderr, "-ranks requires -sink count|stats|file\n");
         return 2;
     }
+    if ((!cfg.trace_path.empty() || !cfg.metrics_path.empty()) &&
+        sink_kind.empty()) {
+        // The per-PE path returns edges without running the chunk engine;
+        // silently writing no telemetry file would look like a lost trace.
+        std::fprintf(stderr, "-trace/-metrics require a -sink run\n");
+        return 2;
+    }
 
     try {
+        int rc;
         if (net_mode) {
             net_opts.num_pes            = pes;
             net_opts.threads_per_worker = threads_per_rank;
-            return run_net_sink(cfg, sink_kind, net_opts, out_path,
-                                manifest_path, dedup_out, sort_memory);
+            rc = run_net_sink(cfg, sink_kind, net_opts, out_path,
+                              manifest_path, dedup_out, sort_memory);
+        } else if (ranks != 0) {
+            rc = run_distributed_sink(cfg, sink_kind, ranks, pes,
+                                      threads_per_rank, keep_rank_files,
+                                      out_path, dedup_out, sort_memory);
+        } else if (!sink_kind.empty()) {
+            rc = run_chunked_sink(cfg, sink_kind, pes, out_path, dedup_out,
+                                  sort_memory);
+        } else {
+            rc = run_per_pe(cfg, rank, size, out_path);
         }
-        if (ranks != 0) {
-            return run_distributed_sink(cfg, sink_kind, ranks, pes,
-                                        threads_per_rank, keep_rank_files,
-                                        out_path, dedup_out, sort_memory);
-        }
-        if (!sink_kind.empty()) {
-            return run_chunked_sink(cfg, sink_kind, pes, out_path, dedup_out,
-                                    sort_memory);
-        }
-        return run_per_pe(cfg, rank, size, out_path);
+        if (rc == 0) print_verbose_metrics();
+        return rc;
     } catch (const std::exception& e) {
         std::fprintf(stderr, "error: %s\n", e.what());
         return 1;

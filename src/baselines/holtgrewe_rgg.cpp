@@ -1,10 +1,10 @@
 #include "baselines/holtgrewe_rgg.hpp"
 
 #include <algorithm>
-#include <chrono>
 #include <cmath>
 
 #include "common/math.hpp"
+#include "obs/trace.hpp"
 #include "prng/rng.hpp"
 
 namespace kagen::baselines {
@@ -27,7 +27,7 @@ double simulated_comm_seconds(u64 messages, u64 bytes) {
 }
 
 HoltgreweResult holtgrewe_generate(const HoltgreweParams& params, u64 num_pes) {
-    const auto t0 = std::chrono::steady_clock::now();
+    const u64 t0 = obs::monotonic_now();
     const u64 P   = std::max<u64>(num_pes, 1);
     HoltgreweResult result;
     result.per_pe.resize(P);
@@ -140,7 +140,7 @@ HoltgreweResult holtgrewe_generate(const HoltgreweParams& params, u64 num_pes) {
         sort_unique(edges);
     }
     result.compute_seconds =
-        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+        static_cast<double>(obs::monotonic_now() - t0) * 1e-9;
     return result;
 }
 

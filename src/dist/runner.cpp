@@ -18,6 +18,7 @@
 #include "common/math.hpp"
 #include "graph/em_sort.hpp"
 #include "kagen.hpp"
+#include "obs/trace.hpp"
 
 namespace kagen::dist {
 namespace {
@@ -78,6 +79,12 @@ private:
     report.chunk_begin = chunk_begin;
     report.chunk_end   = chunk_end;
     int exit_code      = 0;
+    // Telemetry request rides the inherited Config (fork shares the memory
+    // image; the TCP twin gets the same bit via JobSpec::want_trace).
+    const bool want_telemetry =
+        !cfg.trace_path.empty() || !cfg.metrics_path.empty();
+    obs::Snapshot obs_base;
+    if (want_telemetry) obs_base = obs::begin_rank_telemetry();
     try {
         if (opt.rank_hook) opt.rank_hook(rank);
 
@@ -101,6 +108,15 @@ private:
     }
     try {
         write_frame(write_fd, serialize_report(report));
+        if (want_telemetry) {
+            // Second frame on the same pipe, version-free: the coordinator
+            // reads it exactly when it asked for it. clock_base stays 0 —
+            // fork workers share the machine's CLOCK_MONOTONIC, so their
+            // timelines land on the coordinator clock with no offset.
+            obs::RankTelemetry telemetry =
+                obs::end_rank_telemetry(rank, obs_base);
+            write_frame(write_fd, obs::serialize_telemetry(telemetry));
+        }
     } catch (...) {
         exit_code = 1; // coordinator gone; nothing left to report to
     }
@@ -283,6 +299,8 @@ DistResult run_distributed(const Config& cfg, const DistOptions& opts) {
     result.num_ranks = opt.num_ranks;
 
     const bool want_file = !opt.output_path.empty();
+    const bool want_telemetry =
+        !cfg.trace_path.empty() || !cfg.metrics_path.empty();
     const std::string scratch =
         scratch_base(opt) + "/kagen_dist." + std::to_string(::getpid()) + "." +
         std::to_string(g_run_counter.fetch_add(1)) + ".rank";
@@ -329,9 +347,26 @@ DistResult run_distributed(const Config& cfg, const DistOptions& opts) {
         w.pipe->close_write(); // worker death must read as EOF
     }
 
+    // Arm the coordinator's own telemetry only now: events recorded before
+    // the fork loop would be duplicated into every child's inherited
+    // buffers, and the coordinator's interesting spans (merge, em_sort) all
+    // happen after this point anyway.
+    obs::Snapshot obs_base;
+    struct ObsGuard {
+        bool active = false;
+        ~ObsGuard() {
+            if (active) obs::TraceRecorder::global().enable(false);
+        }
+    } obs_guard;
+    if (want_telemetry) {
+        obs_base         = obs::begin_rank_telemetry();
+        obs_guard.active = true;
+    }
+
     // Collect one report per rank (rank order; each worker blocks at most
     // on its own frame write, so there is no circular wait), then reap.
     std::vector<RankReport> reports(opt.num_ranks);
+    std::vector<obs::RankTelemetry> telemetry;
     std::string failure;
     for (u64 r = 0; r < opt.num_ranks; ++r) {
         Worker& w = workers[r];
@@ -345,6 +380,16 @@ DistResult run_distributed(const Config& cfg, const DistOptions& opts) {
                     reports[r].error = "report carries wrong rank id " +
                                        std::to_string(reports[r].rank);
                     reports[r].rank = r;
+                }
+                if (want_telemetry) {
+                    // The optional second frame. A worker that died between
+                    // frames surfaces as a torn/absent frame; the run
+                    // continues (telemetry is best-effort), the wait status
+                    // below still attributes the death.
+                    std::vector<u8> tpayload;
+                    if (read_frame(w.pipe->read_fd(), tpayload)) {
+                        telemetry.push_back(obs::deserialize_telemetry(tpayload));
+                    }
                 }
             } else {
                 reports[r].ok    = false;
@@ -412,11 +457,16 @@ DistResult run_distributed(const Config& cfg, const DistOptions& opts) {
             try {
                 fileio::write_all(out_fd, &total_edges, sizeof(total_edges));
                 for (u64 r = 0; r < opt.num_ranks; ++r) {
+                    const obs::Span span(obs::Phase::merge, r);
                     const fileio::CopyStats copied = append_rank_file(
                         out_fd, workers[r].rank_path, result.ranks[r].file_edges);
                     result.merged_bytes += copied.bytes_copied;
                     result.copy_file_range_bytes += copied.cfr_bytes;
                 }
+                obs::Registry& reg = obs::Registry::global();
+                reg.counter("dist.merged_bytes").add(result.merged_bytes);
+                reg.counter("dist.copy_file_range_bytes")
+                    .add(result.copy_file_range_bytes);
             } catch (...) {
                 fileio::close_or_warn(out_fd, "merged output (error unwind)");
                 throw;
@@ -444,6 +494,38 @@ DistResult run_distributed(const Config& cfg, const DistOptions& opts) {
                 remove_file(opt.dedup_path);
                 throw;
             }
+        }
+    }
+
+    if (want_telemetry) {
+        // The coordinator is one more timeline: pid num_ranks, holding the
+        // merge/em_sort spans. Fork workers share CLOCK_MONOTONIC with it,
+        // so every offset is 0 — the merged trace is already aligned.
+        obs::RankTelemetry own = obs::end_rank_telemetry(opt.num_ranks, obs_base);
+        obs_guard.active       = false;
+        if (!cfg.trace_path.empty()) {
+            std::vector<obs::RankTimeline> timelines;
+            timelines.reserve(telemetry.size() + 1);
+            for (obs::RankTelemetry& t : telemetry) {
+                obs::RankTimeline tl;
+                tl.rank   = t.rank;
+                tl.label  = "rank " + std::to_string(t.rank);
+                tl.events = std::move(t.events);
+                timelines.push_back(std::move(tl));
+            }
+            obs::RankTimeline coord;
+            coord.rank   = opt.num_ranks;
+            coord.label  = "coordinator";
+            coord.events = std::move(own.events);
+            timelines.push_back(std::move(coord));
+            obs::write_chrome_trace(cfg.trace_path, timelines);
+        }
+        if (!cfg.metrics_path.empty()) {
+            obs::Snapshot merged = own.metrics;
+            for (const obs::RankTelemetry& t : telemetry) {
+                merged.merge(t.metrics);
+            }
+            obs::write_metrics_file(cfg.metrics_path, merged);
         }
     }
     return result;

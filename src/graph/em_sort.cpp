@@ -6,6 +6,7 @@
 
 #include "graph/edge_list.hpp"
 #include "graph/io.hpp"
+#include "obs/trace.hpp"
 #include "sink/sinks.hpp"
 #include "sink/spill.hpp"
 
@@ -86,6 +87,7 @@ struct RunCursor {
 SortStats sort_dedup_file(const std::string& input_path,
                           const std::string& output_path, u64 max_memory_bytes,
                           bool canonicalize) {
+    const obs::Span span(obs::Phase::em_sort, max_memory_bytes);
     spill::SpillFile scratch;
     const u64 run_edges =
         std::max<u64>(u64{1024}, max_memory_bytes / sizeof(Edge));
@@ -128,6 +130,10 @@ SortStats sort_dedup_file(const std::string& input_path,
         if (cursors[r].next(&next)) heap.emplace(next, r);
     }
     out.finish();
+    obs::Registry& reg = obs::Registry::global();
+    reg.counter("em.input_edges").add(stats.input_edges);
+    reg.counter("em.output_edges").add(stats.output_edges);
+    reg.counter("em.runs").add(stats.runs);
     return stats;
 }
 

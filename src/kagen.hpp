@@ -44,6 +44,7 @@
 #include "er/er.hpp"
 #include "graph/edge_list.hpp"
 #include "hyperbolic/hyperbolic.hpp"
+#include "obs/trace.hpp"
 #include "pe/pe.hpp"
 #include "rdg/rdg.hpp"
 #include "rgg/rgg.hpp"
@@ -127,6 +128,17 @@ struct Config {
     /// distributed runs stay reproducible under either engine.
     SamplerVersion sampler_version = SamplerVersion::v1;
 
+    /// Runtime telemetry (src/obs/, DESIGN.md §13; tool: -trace/-metrics).
+    /// Non-empty `trace_path`: the run records chunk-lifecycle spans and
+    /// steal/park instants and writes a Chrome trace_event JSON timeline
+    /// there at the end; non-empty `metrics_path`: the run's metrics-
+    /// registry delta is written there as JSON. Observation never perturbs
+    /// output (byte-identity is test-pinned), and neither field enters
+    /// `encode_config` — telemetry cannot change the graph, so it must not
+    /// change the config's content-address either.
+    std::string trace_path;
+    std::string metrics_path;
+
     /// Edge-stream semantics (sink/ownership.hpp). `as_generated` keeps the
     /// paper's per-chunk redundancy: the incident-edge models (undirected
     /// ER/Gnp, RGG, RDG, in-memory RHG) emit every cross-chunk edge on both
@@ -176,6 +188,10 @@ inline void encode_config(std::vector<u8>& out, const Config& cfg) {
     bytes::put_u64(out, cfg.num_processes);
     bytes::put_u64(out, static_cast<u64>(cfg.sampler_version));
     bytes::put_u64(out, static_cast<u64>(cfg.edge_semantics));
+    // trace_path / metrics_path are deliberately NOT encoded: telemetry
+    // never changes the generated graph, and the encoding doubles as the
+    // config's content-address — two runs differing only in observation
+    // must hash identically (and the committed codec corpus stays valid).
 }
 
 /// Bounds-checked decode of `encode_config`'s layout; advances `p`. Throws
@@ -471,6 +487,27 @@ inline ChunkStats generate_chunked(const Config& cfg, u64 num_pes, EdgeSink& sin
     }
     ChunkStats out;
     out.n = num_vertices(cfg); // validates the config before any chunk runs
+
+    // Telemetry scope (DESIGN.md §13): arm the recorder and take a metrics
+    // base before the run; drain + write after. The guard disarms on every
+    // exit path so an exception never leaves the process-global recorder
+    // armed for an un-instrumented caller.
+    const bool want_obs = !cfg.trace_path.empty() || !cfg.metrics_path.empty();
+    obs::Snapshot obs_base;
+    struct RecorderGuard {
+        bool active = false;
+        ~RecorderGuard() {
+            if (active) obs::TraceRecorder::global().enable(false);
+        }
+    } guard;
+    if (want_obs) {
+        obs_base = obs::Registry::global().snapshot();
+        std::vector<obs::TraceEvent> stale;
+        obs::TraceRecorder::global().drain(stale); // trace covers this run only
+        obs::TraceRecorder::global().enable(true);
+        guard.active = true;
+    }
+
     pe::ChunkOptions opt;
     opt.num_pes            = num_pes;
     opt.chunks_per_pe      = cfg.chunks_per_pe;
@@ -495,6 +532,23 @@ inline ChunkStats generate_chunked(const Config& cfg, u64 num_pes, EdgeSink& sin
     out.spilled_bytes       = stats.spilled_bytes;
     out.buffers_recycled    = stats.buffers_recycled;
     out.buffers_allocated   = stats.buffers_allocated;
+
+    if (want_obs) {
+        obs::TraceRecorder::global().enable(false);
+        guard.active = false;
+        if (!cfg.trace_path.empty()) {
+            obs::RankTimeline timeline;
+            timeline.rank  = 0;
+            timeline.label = "rank 0";
+            obs::TraceRecorder::global().drain(timeline.events);
+            obs::write_chrome_trace(cfg.trace_path, {timeline});
+        }
+        if (!cfg.metrics_path.empty()) {
+            obs::write_metrics_file(
+                cfg.metrics_path,
+                obs::Registry::global().snapshot().subtract(obs_base));
+        }
+    }
     return out;
 }
 

@@ -15,6 +15,7 @@
 #include "graph/em_sort.hpp"
 #include "kagen.hpp"
 #include "net/protocol.hpp"
+#include "obs/trace.hpp"
 
 namespace kagen::net {
 namespace {
@@ -107,6 +108,8 @@ NetResult run_net_coordinator(const Config& cfg, const NetOptions& opts) {
 
     const bool want_file = !opt.output_path.empty() || !opt.manifest_path.empty();
     const bool gather    = !opt.output_path.empty();
+    const bool want_telemetry =
+        !cfg.trace_path.empty() || !cfg.metrics_path.empty();
 
     // --- reach the fleet --------------------------------------------------
     std::vector<Socket> socks(W);
@@ -144,6 +147,7 @@ NetResult run_net_coordinator(const Config& cfg, const NetOptions& opts) {
         decode_hello(recv_message(socks[w], w, opt.connect_timeout_ms, "hello"));
         socks[w].send_frame(encode_hello());
     }
+    std::vector<u64> t_job_sent(W, 0);
     for (u64 w = 0; w < W; ++w) {
         JobSpec job;
         job.cfg          = cfg;
@@ -156,13 +160,32 @@ NetResult run_net_coordinator(const Config& cfg, const NetOptions& opts) {
         job.want_file    = want_file;
         job.send_file    = gather;
         job.degree_stats = opt.degree_stats;
+        job.want_trace   = want_telemetry;
         try {
+            // The send stamp is the coordinator half of the clock handshake:
+            // paired with the worker's receipt stamp it places that rank's
+            // timeline on the coordinator clock (network latency shifts the
+            // alignment by less than one RTT — fine for a utilization view).
+            t_job_sent[w] = obs::monotonic_now();
             socks[w].send_frame(encode_job(job));
         } catch (const std::exception& e) {
             throw std::runtime_error("net coordinator: " + rank_tag(w, socks[w]) +
                                      ": sending job failed: " + e.what());
         }
     }
+
+    obs::Snapshot obs_base;
+    struct ObsGuard {
+        bool active = false;
+        ~ObsGuard() {
+            if (active) obs::TraceRecorder::global().enable(false);
+        }
+    } obs_guard;
+    if (want_telemetry) {
+        obs_base         = obs::begin_rank_telemetry();
+        obs_guard.active = true;
+    }
+    std::vector<obs::RankTelemetry> telemetry;
 
     // --- collect reports (and files) in rank order ------------------------
     // Gathered payloads stream behind a placeholder header; the real total
@@ -225,6 +248,18 @@ NetResult run_net_coordinator(const Config& cfg, const NetOptions& opts) {
                     std::to_string(report.count.num_edges));
             }
 
+            if (want_telemetry) {
+                obs::RankTelemetry t = decode_telemetry(recv_message(
+                    sock, w, opt.connect_timeout_ms, "telemetry"));
+                if (t.rank != w) {
+                    throw std::runtime_error(
+                        "net coordinator: " + rank_tag(w, sock) +
+                        ": telemetry carries wrong rank id " +
+                        std::to_string(t.rank));
+                }
+                telemetry.push_back(std::move(t));
+            }
+
             if (gather) {
                 const FileHeader header = decode_file_header(recv_message(
                     sock, w, opt.connect_timeout_ms, "file header"));
@@ -237,6 +272,7 @@ NetResult run_net_coordinator(const Config& cfg, const NetOptions& opts) {
                         " bytes, report said " + std::to_string(report.file_edges));
                 }
                 try {
+                    const obs::Span span(obs::Phase::merge, w);
                     sock.recv_payload_to(out_fd, header.payload_bytes,
                                          opt.connect_timeout_ms);
                 } catch (const std::exception& e) {
@@ -268,6 +304,11 @@ NetResult run_net_coordinator(const Config& cfg, const NetOptions& opts) {
 
             result.edges_written += report.file_edges;
             result.seconds = std::max(result.seconds, report.stats.seconds);
+            result.peak_buffered_bytes = std::max(
+                result.peak_buffered_bytes, report.stats.peak_buffered_bytes);
+            result.spilled_chunks += report.stats.spilled_chunks;
+            result.spilled_bytes += report.stats.spilled_bytes;
+            result.buffers_recycled += report.stats.buffers_recycled;
             result.ranks[w] = std::move(report);
         }
 
@@ -352,6 +393,42 @@ NetResult run_net_coordinator(const Config& cfg, const NetOptions& opts) {
         } catch (...) {
             remove_file(opt.dedup_path);
             throw;
+        }
+    }
+
+    if (want_telemetry) {
+        obs::Registry::global().counter("net.merged_bytes")
+            .add(result.merged_bytes);
+        obs::RankTelemetry own = obs::end_rank_telemetry(W, obs_base);
+        obs_guard.active       = false;
+        if (!cfg.trace_path.empty()) {
+            std::vector<obs::RankTimeline> timelines;
+            timelines.reserve(telemetry.size() + 1);
+            for (obs::RankTelemetry& t : telemetry) {
+                obs::RankTimeline tl;
+                tl.rank = t.rank;
+                // Align the worker's monotonic clock to the coordinator's:
+                // its clock base was stamped (one network flight after) the
+                // job send the coordinator timed.
+                tl.offset_ns = static_cast<i64>(t_job_sent[t.rank]) -
+                               static_cast<i64>(t.clock_base_ns);
+                tl.label  = "rank " + std::to_string(t.rank);
+                tl.events = std::move(t.events);
+                timelines.push_back(std::move(tl));
+            }
+            obs::RankTimeline coord;
+            coord.rank   = W;
+            coord.label  = "coordinator";
+            coord.events = std::move(own.events);
+            timelines.push_back(std::move(coord));
+            obs::write_chrome_trace(cfg.trace_path, timelines);
+        }
+        if (!cfg.metrics_path.empty()) {
+            obs::Snapshot merged = own.metrics;
+            for (const obs::RankTelemetry& t : telemetry) {
+                merged.merge(t.metrics);
+            }
+            obs::write_metrics_file(cfg.metrics_path, merged);
         }
     }
     return result;

@@ -104,6 +104,13 @@ struct NetResult {
     u64 merged_bytes  = 0; ///< rank-file payload bytes received and written
     u64 dedup_edges   = 0; ///< unique edges after the optional dedup pass
 
+    // Fleet-wide engine stats folded from the per-rank reports — the same
+    // fields dist::DistResult carries, so both backends print one summary.
+    u64 peak_buffered_bytes = 0; ///< max over ranks
+    u64 spilled_chunks      = 0; ///< summed over ranks
+    u64 spilled_bytes       = 0;
+    u64 buffers_recycled    = 0;
+
     CountingSummary count;    ///< merged counting summary (all ranks)
     bool has_degrees = false; ///< degree summary collected and merged
     DegreeStatsSummary degrees;

@@ -41,6 +41,7 @@ const char* msg_name(Msg type) {
         case Msg::report:    return "report";
         case Msg::file:      return "file";
         case Msg::file_info: return "file-info";
+        case Msg::telemetry: return "telemetry";
     }
     return "unknown";
 }
@@ -77,6 +78,7 @@ std::vector<u8> encode_job(const JobSpec& job) {
     bytes::put_u64(out, job.want_file ? 1 : 0);
     bytes::put_u64(out, job.send_file ? 1 : 0);
     bytes::put_u64(out, job.degree_stats ? 1 : 0);
+    bytes::put_u64(out, job.want_trace ? 1 : 0);
     encode_config(out, job.cfg);
     return out;
 }
@@ -95,6 +97,7 @@ JobSpec decode_job(const std::vector<u8>& payload) {
     job.want_file    = bytes::get_u64(p, end) != 0;
     job.send_file    = bytes::get_u64(p, end) != 0;
     job.degree_stats = bytes::get_u64(p, end) != 0;
+    job.want_trace   = bytes::get_u64(p, end) != 0;
     job.cfg          = decode_config(p, end);
     expect_consumed(p, end, Msg::job);
     if (job.chunk_begin > job.chunk_end || job.chunk_end > job.num_chunks) {
@@ -122,6 +125,22 @@ dist::RankReport decode_report(const std::vector<u8>& payload) {
     expect_type(p, end, Msg::report);
     // deserialize_report validates full consumption of its slice itself.
     return dist::deserialize_report(std::vector<u8>(p, end));
+}
+
+std::vector<u8> encode_telemetry(const obs::RankTelemetry& telemetry) {
+    std::vector<u8> out;
+    bytes::put_u64(out, static_cast<u64>(Msg::telemetry));
+    const std::vector<u8> body = obs::serialize_telemetry(telemetry);
+    out.insert(out.end(), body.begin(), body.end());
+    return out;
+}
+
+obs::RankTelemetry decode_telemetry(const std::vector<u8>& payload) {
+    const u8* p   = payload.data();
+    const u8* end = p + payload.size();
+    expect_type(p, end, Msg::telemetry);
+    // deserialize_telemetry bounds-checks counts and rejects trailing bytes.
+    return obs::deserialize_telemetry(std::vector<u8>(p, end));
 }
 
 std::vector<u8> encode_file_header(const FileHeader& header) {

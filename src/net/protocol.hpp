@@ -11,6 +11,8 @@
 ///   worker      → coordinator   report       {dist::RankReport — the same
 ///                                             serialize_report bytes the
 ///                                             pipe transport ships}
+///   worker      → coordinator   telemetry    {obs::RankTelemetry}
+///                                            (only if the job set want_trace)
 ///   worker      → coordinator   file header  {edges, payload bytes}   (gather)
 ///                               …raw payload bytes, outside any frame…
 ///           or                  file info    {path, edges, bytes}   (manifest)
@@ -19,6 +21,10 @@
 /// ends before any job state exists. Decoders validate the type tag, every
 /// enum, and that the payload is consumed exactly — trailing bytes are a
 /// protocol error, not padding.
+///
+/// Version 2 added `JobSpec::want_trace` and the telemetry message; the
+/// strict hello means v1/v2 peers refuse each other up front instead of
+/// mis-framing mid-run.
 #pragma once
 
 #include <string>
@@ -27,10 +33,11 @@
 #include "common/types.hpp"
 #include "dist/ipc.hpp"
 #include "kagen.hpp"
+#include "obs/trace.hpp"
 
 namespace kagen::net {
 
-constexpr u64 kProtocolVersion = 1;
+constexpr u64 kProtocolVersion = 2;
 
 enum class Msg : u64 {
     hello     = 1,
@@ -38,6 +45,7 @@ enum class Msg : u64 {
     report    = 3,
     file      = 4,
     file_info = 5,
+    telemetry = 6,
 };
 
 /// First u64 of a frame payload; throws on an empty/truncated payload.
@@ -69,6 +77,7 @@ struct JobSpec {
     bool want_file  = false; ///< write a rank file at all
     bool send_file  = false; ///< stream it back (gather) vs keep it (manifest)
     bool degree_stats = false; ///< collect + ship the O(n) degree summary
+    bool want_trace = false; ///< record + ship trace spans and metrics (v2)
 };
 
 std::vector<u8> encode_job(const JobSpec& job);
@@ -78,6 +87,14 @@ JobSpec decode_job(const std::vector<u8>& payload);
 
 std::vector<u8> encode_report(const dist::RankReport& report);
 dist::RankReport decode_report(const std::vector<u8>& payload);
+
+// --- telemetry -------------------------------------------------------------
+
+/// The rank's trace events + metrics delta (obs::serialize_telemetry bytes
+/// behind the type tag). Sent right after the report when the job asked for
+/// it, before any file transfer.
+std::vector<u8> encode_telemetry(const obs::RankTelemetry& telemetry);
+obs::RankTelemetry decode_telemetry(const std::vector<u8>& payload);
 
 // --- file transfer ---------------------------------------------------------
 

@@ -1,7 +1,6 @@
 #include "net/socket.hpp"
 
 #include <cerrno>
-#include <chrono>
 #include <cstring>
 #include <stdexcept>
 
@@ -17,6 +16,7 @@
 #include "common/bytes.hpp"
 #include "common/fileio.hpp"
 #include "dist/ipc.hpp"
+#include "obs/trace.hpp"
 
 namespace kagen::net {
 namespace {
@@ -25,11 +25,10 @@ namespace {
     throw std::runtime_error("net: " + what + ": " + std::strerror(errno));
 }
 
-/// CLOCK_MONOTONIC now, in ms — the clock all deadlines live on.
+/// CLOCK_MONOTONIC now, in ms — the clock all deadlines live on
+/// (obs::monotonic_now is the codebase's single clock read).
 long long now_ms() {
-    return std::chrono::duration_cast<std::chrono::milliseconds>(
-               std::chrono::steady_clock::now().time_since_epoch())
-        .count();
+    return static_cast<long long>(obs::monotonic_now() / 1000000u);
 }
 
 /// Absolute deadline stamp for a relative timeout; < 0 = unbounded.

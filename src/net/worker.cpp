@@ -17,6 +17,7 @@
 #include "kagen.hpp"
 #include "net/protocol.hpp"
 #include "net/socket.hpp"
+#include "obs/trace.hpp"
 
 namespace kagen::net {
 namespace {
@@ -110,6 +111,14 @@ int run_net_worker(const std::string& endpoint_spec,
             "net worker: coordinator closed the connection before sending a job");
     }
     const JobSpec job = decode_job(payload);
+    // Clock handshake: this stamp pairs with the coordinator's job-send
+    // timestamp to place this rank's timeline on the coordinator clock
+    // (offset = t_sent − clock_base; DESIGN.md §13). Taken unconditionally —
+    // it is one clock read and keeps the stamp as close to the job frame's
+    // arrival as possible.
+    const u64 clock_base_ns = obs::monotonic_now();
+    obs::Snapshot obs_base;
+    if (job.want_trace) obs_base = obs::begin_rank_telemetry();
 
     std::string rank_path;
     if (job.want_file) {
@@ -142,11 +151,22 @@ int run_net_worker(const std::string& endpoint_spec,
         report.error = "unknown exception";
     }
 
+    // Disarm the recorder before any send can throw: a worker thread shared
+    // with a test harness must never leave recording enabled behind.
+    obs::RankTelemetry telemetry;
+    if (job.want_trace) {
+        telemetry               = obs::end_rank_telemetry(job.rank, obs_base);
+        telemetry.clock_base_ns = clock_base_ns;
+    }
+
     if (!report.ok) {
         fileio::unlink_or_warn(rank_path.c_str(), "partial rank file");
     }
 
     sock.send_frame(encode_report(report));
+    // Telemetry follows the report even on failure so the byte stream stays
+    // aligned with what the coordinator was told to expect.
+    if (job.want_trace) sock.send_frame(encode_telemetry(telemetry));
     if (!report.ok) return 1;
 
     if (job.want_file && job.send_file) {

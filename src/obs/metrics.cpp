@@ -1,0 +1,314 @@
+#include "obs/metrics.hpp"
+
+#include <cstdio>
+#include <fstream>
+#include <memory>
+#include <mutex>
+#include <stdexcept>
+
+#include "common/bytes.hpp"
+
+namespace kagen::obs {
+
+// ---------------------------------------------------------------------------
+// Registry
+// ---------------------------------------------------------------------------
+
+struct Registry::Impl {
+    mutable std::mutex m;
+    // unique_ptr values: instrument addresses must survive map rehashes so
+    // cached Counter&/Histogram& references stay valid forever.
+    std::map<std::string, std::pair<std::unique_ptr<Counter>, MergeKind>> counters;
+    std::map<std::string, std::unique_ptr<Histogram>> histograms;
+};
+
+Registry::Impl& Registry::impl() const {
+    static Impl instance;
+    return instance;
+}
+
+Counter& Registry::counter(const std::string& name, MergeKind kind) {
+    Impl& im = impl();
+    std::lock_guard<std::mutex> lock(im.m);
+    auto it = im.counters.find(name);
+    if (it == im.counters.end()) {
+        it = im.counters
+                 .emplace(name, std::make_pair(std::make_unique<Counter>(), kind))
+                 .first;
+    }
+    return *it->second.first;
+}
+
+Histogram& Registry::histogram(const std::string& name) {
+    Impl& im = impl();
+    std::lock_guard<std::mutex> lock(im.m);
+    auto it = im.histograms.find(name);
+    if (it == im.histograms.end()) {
+        it = im.histograms.emplace(name, std::make_unique<Histogram>()).first;
+    }
+    return *it->second;
+}
+
+Snapshot Registry::snapshot() const {
+    Impl& im = impl();
+    std::lock_guard<std::mutex> lock(im.m);
+    Snapshot snap;
+    for (const auto& [name, entry] : im.counters) {
+        snap.counters.emplace(name,
+                              Snapshot::CounterValue{entry.first->value(), entry.second});
+    }
+    for (const auto& [name, hist] : im.histograms) {
+        Snapshot::HistogramValue hv;
+        hv.count = hist->count();
+        hv.sum   = hist->sum();
+        for (int i = 0; i < Histogram::kBuckets; ++i) {
+            const u64 c = hist->bucket(i);
+            if (c != 0) hv.buckets.emplace_back(static_cast<u32>(i), c);
+        }
+        snap.histograms.emplace(name, std::move(hv));
+    }
+    return snap;
+}
+
+Registry& Registry::global() {
+    static Registry instance;
+    return instance;
+}
+
+// ---------------------------------------------------------------------------
+// Snapshot algebra
+// ---------------------------------------------------------------------------
+
+void Snapshot::merge(const Snapshot& other) {
+    for (const auto& [name, cv] : other.counters) {
+        auto [it, inserted] = counters.emplace(name, cv);
+        if (inserted) continue;
+        it->second.kind = cv.kind;
+        if (cv.kind == MergeKind::max) {
+            if (cv.value > it->second.value) it->second.value = cv.value;
+        } else {
+            it->second.value += cv.value;
+        }
+    }
+    for (const auto& [name, hv] : other.histograms) {
+        auto [it, inserted] = histograms.emplace(name, hv);
+        if (inserted) continue;
+        HistogramValue& mine = it->second;
+        mine.count += hv.count;
+        mine.sum += hv.sum;
+        // Merge two sorted sparse bucket lists.
+        std::vector<std::pair<u32, u64>> merged;
+        merged.reserve(mine.buckets.size() + hv.buckets.size());
+        std::size_t a = 0, b = 0;
+        while (a < mine.buckets.size() || b < hv.buckets.size()) {
+            if (b == hv.buckets.size() ||
+                (a < mine.buckets.size() && mine.buckets[a].first < hv.buckets[b].first)) {
+                merged.push_back(mine.buckets[a++]);
+            } else if (a == mine.buckets.size() ||
+                       hv.buckets[b].first < mine.buckets[a].first) {
+                merged.push_back(hv.buckets[b++]);
+            } else {
+                merged.emplace_back(mine.buckets[a].first,
+                                    mine.buckets[a].second + hv.buckets[b].second);
+                ++a;
+                ++b;
+            }
+        }
+        mine.buckets = std::move(merged);
+    }
+}
+
+Snapshot Snapshot::subtract(const Snapshot& base) const {
+    Snapshot out = *this;
+    for (auto& [name, cv] : out.counters) {
+        if (cv.kind == MergeKind::max) continue; // a peak is not a rate
+        const auto it = base.counters.find(name);
+        if (it == base.counters.end()) continue;
+        cv.value = cv.value >= it->second.value ? cv.value - it->second.value : 0;
+    }
+    for (auto& [name, hv] : out.histograms) {
+        const auto it = base.histograms.find(name);
+        if (it == base.histograms.end()) continue;
+        const HistogramValue& old = it->second;
+        hv.count = hv.count >= old.count ? hv.count - old.count : 0;
+        hv.sum   = hv.sum >= old.sum ? hv.sum - old.sum : 0;
+        std::vector<std::pair<u32, u64>> rest;
+        for (const auto& [idx, c] : hv.buckets) {
+            u64 prev = 0;
+            for (const auto& [oidx, oc] : old.buckets) {
+                if (oidx == idx) {
+                    prev = oc;
+                    break;
+                }
+            }
+            const u64 d = c >= prev ? c - prev : 0;
+            if (d != 0) rest.emplace_back(idx, d);
+        }
+        hv.buckets = std::move(rest);
+    }
+    return out;
+}
+
+u64 Snapshot::counter_or(const std::string& name, u64 fallback) const {
+    const auto it = counters.find(name);
+    return it == counters.end() ? fallback : it->second.value;
+}
+
+// ---------------------------------------------------------------------------
+// JSON
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// Counter/histogram names are code-chosen identifiers ([a-z0-9._]); the
+/// escape covers the JSON-mandatory set anyway so a stray name cannot
+/// produce an invalid document.
+void append_json_string(std::string& out, const std::string& s) {
+    out.push_back('"');
+    for (const char c : s) {
+        switch (c) {
+            case '"': out += "\\\""; break;
+            case '\\': out += "\\\\"; break;
+            case '\n': out += "\\n"; break;
+            case '\t': out += "\\t"; break;
+            case '\r': out += "\\r"; break;
+            default:
+                if (static_cast<unsigned char>(c) < 0x20) {
+                    char buf[8];
+                    std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                    out += buf;
+                } else {
+                    out.push_back(c);
+                }
+        }
+    }
+    out.push_back('"');
+}
+
+void append_u64(std::string& out, u64 v) {
+    char buf[24];
+    std::snprintf(buf, sizeof(buf), "%llu", static_cast<unsigned long long>(v));
+    out += buf;
+}
+
+} // namespace
+
+std::string Snapshot::to_json() const {
+    std::string out;
+    out += "{\n  \"counters\": {";
+    bool first = true;
+    for (const auto& [name, cv] : counters) {
+        out += first ? "\n" : ",\n";
+        first = false;
+        out += "    ";
+        append_json_string(out, name);
+        out += ": ";
+        append_u64(out, cv.value);
+    }
+    out += first ? "},\n" : "\n  },\n";
+    out += "  \"histograms\": {";
+    first = true;
+    for (const auto& [name, hv] : histograms) {
+        out += first ? "\n" : ",\n";
+        first = false;
+        out += "    ";
+        append_json_string(out, name);
+        out += ": {\"count\": ";
+        append_u64(out, hv.count);
+        out += ", \"sum\": ";
+        append_u64(out, hv.sum);
+        out += ", \"log2_buckets\": {";
+        bool bfirst = true;
+        for (const auto& [idx, c] : hv.buckets) {
+            if (!bfirst) out += ", ";
+            bfirst = false;
+            out.push_back('"');
+            append_u64(out, idx);
+            out += "\": ";
+            append_u64(out, c);
+        }
+        out += "}}";
+    }
+    out += first ? "}\n" : "\n  }\n";
+    out += "}\n";
+    return out;
+}
+
+// ---------------------------------------------------------------------------
+// Wire form
+// ---------------------------------------------------------------------------
+
+void Snapshot::serialize(std::vector<u8>& out) const {
+    bytes::put_u64(out, counters.size());
+    for (const auto& [name, cv] : counters) {
+        bytes::put_string(out, name);
+        bytes::put_u64(out, cv.value);
+        bytes::put_u64(out, static_cast<u64>(cv.kind));
+    }
+    bytes::put_u64(out, histograms.size());
+    for (const auto& [name, hv] : histograms) {
+        bytes::put_string(out, name);
+        bytes::put_u64(out, hv.count);
+        bytes::put_u64(out, hv.sum);
+        bytes::put_u64(out, hv.buckets.size());
+        for (const auto& [idx, c] : hv.buckets) {
+            bytes::put_u64(out, idx);
+            bytes::put_u64(out, c);
+        }
+    }
+}
+
+Snapshot Snapshot::deserialize(const u8*& p, const u8* end) {
+    Snapshot snap;
+    const u64 num_counters = bytes::get_u64(p, end);
+    // Each counter is at least name-length + value + kind = 24 bytes; an
+    // implausible count fails here instead of looping on a hostile length.
+    if (num_counters > static_cast<u64>(end - p) / 24) {
+        throw std::runtime_error("obs: implausible snapshot counter count");
+    }
+    for (u64 i = 0; i < num_counters; ++i) {
+        const std::string name = bytes::get_string(p, end);
+        CounterValue cv;
+        cv.value       = bytes::get_u64(p, end);
+        const u64 kind = bytes::get_u64(p, end);
+        if (kind > static_cast<u64>(MergeKind::max)) {
+            throw std::runtime_error("obs: unknown counter merge kind");
+        }
+        cv.kind = static_cast<MergeKind>(kind);
+        snap.counters.emplace(name, cv);
+    }
+    const u64 num_hists = bytes::get_u64(p, end);
+    if (num_hists > static_cast<u64>(end - p) / 32) {
+        throw std::runtime_error("obs: implausible snapshot histogram count");
+    }
+    for (u64 i = 0; i < num_hists; ++i) {
+        const std::string name = bytes::get_string(p, end);
+        HistogramValue hv;
+        hv.count             = bytes::get_u64(p, end);
+        hv.sum               = bytes::get_u64(p, end);
+        const u64 num_bucket = bytes::get_u64(p, end);
+        if (num_bucket > static_cast<u64>(end - p) / 16) {
+            throw std::runtime_error("obs: implausible histogram bucket count");
+        }
+        for (u64 b = 0; b < num_bucket; ++b) {
+            const u64 idx = bytes::get_u64(p, end);
+            const u64 c   = bytes::get_u64(p, end);
+            if (idx >= static_cast<u64>(Histogram::kBuckets)) {
+                throw std::runtime_error("obs: histogram bucket index out of range");
+            }
+            hv.buckets.emplace_back(static_cast<u32>(idx), c);
+        }
+        snap.histograms.emplace(name, std::move(hv));
+    }
+    return snap;
+}
+
+void write_metrics_file(const std::string& path, const Snapshot& snap) {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    if (!out) throw std::runtime_error("obs: cannot open metrics file " + path);
+    out << snap.to_json();
+    out.flush();
+    if (!out) throw std::runtime_error("obs: write to metrics file failed: " + path);
+}
+
+} // namespace kagen::obs

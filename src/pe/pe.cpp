@@ -3,8 +3,8 @@
 #include <algorithm>
 #include <atomic>
 #include <cassert>
-#include <chrono>
 #include <condition_variable>
+#include <cstdio>
 #include <memory>
 #include <mutex>
 #include <stdexcept>
@@ -16,6 +16,7 @@
 #endif
 
 #include "common/math.hpp"
+#include "obs/trace.hpp"
 #include "pe/chunk_pool.hpp"
 #include "sink/sinks.hpp"
 #include "sink/spill.hpp"
@@ -106,8 +107,37 @@ bool steal_from(StealRange& victim, StealRange& self, u64 granularity,
     return true;
 }
 
+/// Per-participant utilization, accumulated locally during the section and
+/// flushed to the metrics registry once on exit — the hot loop never takes
+/// the registry mutex, and per-worker counters survive as named
+/// instruments (`pool.w007.busy_ns`) for the tool's `-v` report.
+struct ParticipantStats {
+    u64 busy_ns         = 0;
+    u64 tasks           = 0;
+    u64 steal_attempts  = 0;
+    u64 steal_successes = 0;
+
+    void flush(u64 self) {
+        if (tasks == 0 && steal_attempts == 0) return;
+        obs::Registry& reg = obs::Registry::global();
+        char name[48];
+        std::snprintf(name, sizeof(name), "pool.w%03llu.",
+                      static_cast<unsigned long long>(self));
+        const std::string prefix(name);
+        reg.counter(prefix + "busy_ns").add(busy_ns);
+        reg.counter(prefix + "tasks").add(tasks);
+        reg.counter(prefix + "steal_attempts").add(steal_attempts);
+        reg.counter(prefix + "steal_successes").add(steal_successes);
+        reg.counter("pool.busy_ns").add(busy_ns);
+        reg.counter("pool.tasks").add(tasks);
+        reg.counter("pool.steal_attempts").add(steal_attempts);
+        reg.counter("pool.steal_successes").add(steal_successes);
+    }
+};
+
 void run_participant(Job& job, u64 self) {
     auto& mine = *job.ranges[self];
+    ParticipantStats pstats;
     for (;;) {
         u64 task = pop_own(mine);
         if (task == kNoTask) {
@@ -123,24 +153,37 @@ void run_participant(Job& job, u64 self) {
                     best           = v;
                 }
             }
-            if (best == kNoTask) return; // no work anywhere: done
+            if (best == kNoTask) break; // no work anywhere: done
+            ++pstats.steal_attempts;
             if (!steal_from(*job.ranges[best], mine, job.granularity,
                             job.grain_phase)) {
                 continue;
             }
+            ++pstats.steal_successes;
+            {
+                std::lock_guard<std::mutex> lock(mine.m);
+                obs::instant(obs::Phase::steal, mine.end - mine.next);
+            }
             task = pop_own(mine);
             if (task == kNoTask) continue;
         }
-        if (job.cancelled.load(std::memory_order_acquire)) return;
+        if (job.cancelled.load(std::memory_order_acquire)) break;
+        const u64 t0 = obs::monotonic_now();
         try {
             (*job.fn)(task);
         } catch (...) {
-            std::lock_guard<std::mutex> lock(job.error_m);
-            if (!job.error) job.error = std::current_exception();
+            pstats.busy_ns += obs::monotonic_now() - t0;
+            {
+                std::lock_guard<std::mutex> lock(job.error_m);
+                if (!job.error) job.error = std::current_exception();
+            }
             job.cancelled.store(true, std::memory_order_release);
-            return;
+            break;
         }
+        pstats.busy_ns += obs::monotonic_now() - t0;
+        ++pstats.tasks;
     }
+    pstats.flush(self);
 }
 
 } // namespace
@@ -335,14 +378,13 @@ double run_timed(u64 size, const RankFn& fn, u64 hardware_threads) {
     // to the per-core aggregate — still the quantity weak/strong scaling
     // plots care about, and documented in EXPERIMENTS.md.
     const u64 workers = std::min<u64>(size, hardware_threads);
-    const auto start  = std::chrono::steady_clock::now();
+    const u64 start   = obs::monotonic_now();
     ThreadPool::global().parallel_for(size, workers, [&](u64 rank) {
         EdgeList edges = fn(rank, size); // result dropped: timing only
         // Keep the optimizer from deleting the generation.
         asm volatile("" : : "r"(edges.data()) : "memory");
     });
-    const auto stop = std::chrono::steady_clock::now();
-    return std::chrono::duration<double>(stop - start).count();
+    return static_cast<double>(obs::monotonic_now() - start) * 1e-9;
 }
 
 EdgeList union_undirected(const std::vector<EdgeList>& per_pe) {
@@ -372,13 +414,18 @@ class ForwardingSink final : public EdgeSink {
 public:
     explicit ForwardingSink(EdgeSink& target) : target_(target) {}
 
+    /// Edges handed to the target so far (exact after flush()).
+    u64 edges_forwarded() const { return forwarded_; }
+
 protected:
     void consume(const Edge* edges, std::size_t count) override {
         target_.deliver(edges, count);
+        forwarded_ += count;
     }
 
 private:
     EdgeSink& target_;
+    u64 forwarded_ = 0;
 };
 
 /// Bounded-memory ordered delivery: completed chunks park (in RAM while the
@@ -397,11 +444,11 @@ private:
 /// order — the output is byte-identical to a sequential run.
 class OrderedDelivery {
 public:
-    OrderedDelivery(u64 num_chunks, u64 max_buffered_bytes,
+    OrderedDelivery(u64 num_chunks, u64 chunk_base, u64 max_buffered_bytes,
                     const std::string& spill_path, EdgeSink& sink,
                     ChunkBufferPool& pool)
-        : slots_(num_chunks), budget_(max_buffered_bytes), pool_(pool),
-          sink_(sink) {
+        : slots_(num_chunks), chunk_base_(chunk_base),
+          budget_(max_buffered_bytes), pool_(pool), sink_(sink) {
         // The spill file is only ever touched in bounded mode; create it
         // eagerly so producers never race on lazy construction.
         if (budget_ != 0) {
@@ -426,12 +473,16 @@ public:
         const bool at_cursor = !draining_ && chunk == cursor_;
         if (over_budget && !at_cursor && !edges.empty()) {
             lock.unlock();
+            obs::instant(obs::Phase::budget_park, chunk_base_ + chunk);
             // Spill outside the bookkeeping lock: SpillFile::append only
             // serializes the offset reservation, so concurrent spillers
             // overlap their writes and non-spilling producers are untouched.
             auto parked = std::make_unique<spill::SpillSink>(*spill_);
-            parked->deliver(edges.data(), edges.size());
-            parked->finish();
+            {
+                obs::Span park_span(obs::Phase::spill_park, chunk_base_ + chunk);
+                parked->deliver(edges.data(), edges.size());
+                parked->finish();
+            }
             pool_.release(std::move(edges)); // hand back before re-locking
                                              // (bounded mode: pool frees)
             lock.lock();
@@ -478,7 +529,10 @@ private:
                     slot.state      = Slot::State::delivered;
                     const u64 bytes = edges.size() * sizeof(Edge);
                     lock.unlock();
-                    sink_.deliver(edges.data(), edges.size());
+                    {
+                        obs::Span span(obs::Phase::deliver, chunk_base_ + cursor_);
+                        sink_.deliver(edges.data(), edges.size());
+                    }
                     // Recycle instead of freeing: the next chunk a producer
                     // acquires appends into this capacity with zero
                     // reallocations (DESIGN.md §9). Outside the lock.
@@ -489,7 +543,11 @@ private:
                     auto parked = std::move(slot.spilled);
                     slot.state  = Slot::State::delivered;
                     lock.unlock();
-                    parked->replay(sink_); // bounded batches off the disk
+                    {
+                        obs::Span span(obs::Phase::spill_replay,
+                                       chunk_base_ + cursor_);
+                        parked->replay(sink_); // bounded batches off the disk
+                    }
                     lock.lock();
                 }
             } catch (...) {
@@ -512,6 +570,7 @@ private:
 
     std::mutex mutex_;
     std::vector<Slot> slots_;
+    const u64 chunk_base_;  ///< absolute id of slot 0 (trace span labels)
     u64 cursor_    = 0;     ///< next chunk owed to the sink
     bool draining_ = false; ///< a designated drainer is active
     bool failed_   = false; ///< a delivery threw; no further draining
@@ -563,14 +622,21 @@ ChunkRunStats run_chunked(const ChunkOptions& opt, const ChunkFn& fn, EdgeSink& 
     stats.num_chunks = span;
     stats.workers    = std::min<u64>({workers, std::max<u64>(span, 1), pool.num_threads()});
 
-    const auto start = std::chrono::steady_clock::now();
+    obs::Registry& reg        = obs::Registry::global();
+    obs::Histogram& edge_hist = reg.histogram("pe.chunk_edges");
+
+    const u64 start = obs::monotonic_now();
     if (!sink.ordered()) {
         // Order-insensitive sink: workers stream straight through private
         // buffered facades; memory stays O(buffer) per worker.
         pool.parallel_for(span, workers, [&](u64 task) {
             ForwardingSink forward(sink);
-            fn(begin + task, num_chunks, forward);
-            forward.flush();
+            {
+                obs::Span gen(obs::Phase::generate, begin + task);
+                fn(begin + task, num_chunks, forward);
+                forward.flush();
+            }
+            edge_hist.observe(forward.edges_forwarded());
         }, granularity, grain_phase);
     } else if (stats.workers <= 1) {
         // Direct streaming (DESIGN.md §9): a single participant visits the
@@ -581,6 +647,7 @@ ChunkRunStats run_chunked(const ChunkOptions& opt, const ChunkFn& fn, EdgeSink& 
         // trivially. The closing flush guarantees every emitted edge has
         // reached consume() by return, whether or not `fn` flushed.
         for (u64 task = 0; task < span; ++task) {
+            obs::Span gen(obs::Phase::generate, begin + task);
             fn(begin + task, num_chunks, sink);
         }
         sink.flush();
@@ -598,13 +665,17 @@ ChunkRunStats run_chunked(const ChunkOptions& opt, const ChunkFn& fn, EdgeSink& 
         // (chunk_pool.hpp).
         ChunkBufferPool buffers(opt.max_buffered_bytes == 0 ? stats.workers + 1
                                                             : 0);
-        OrderedDelivery delivery(span, opt.max_buffered_bytes,
+        OrderedDelivery delivery(span, begin, opt.max_buffered_bytes,
                                  opt.spill_path, sink, buffers);
         pool.parallel_for(span, workers, [&](u64 task) {
             EdgeList buf = buffers.acquire();
             MemorySink local(&buf);
-            fn(begin + task, num_chunks, local);
-            local.flush();
+            {
+                obs::Span gen(obs::Phase::generate, begin + task);
+                fn(begin + task, num_chunks, local);
+                local.flush();
+            }
+            edge_hist.observe(buf.size());
             delivery.complete(task, std::move(buf));
         }, granularity, grain_phase);
         assert(delivery.delivered_chunks() == span);
@@ -614,8 +685,19 @@ ChunkRunStats run_chunked(const ChunkOptions& opt, const ChunkFn& fn, EdgeSink& 
         stats.buffers_recycled    = buffers.buffers_recycled();
         stats.buffers_allocated   = buffers.buffers_allocated();
     }
-    const auto stop = std::chrono::steady_clock::now();
-    stats.seconds   = std::chrono::duration<double>(stop - start).count();
+    stats.seconds = static_cast<double>(obs::monotonic_now() - start) * 1e-9;
+
+    // Mirror the per-run struct into the registry: `ChunkRunStats` stays the
+    // thin per-run view, the named instruments are what snapshots, merges,
+    // and the `-metrics` report consume.
+    reg.counter("pe.runs").add(1);
+    reg.counter("pe.chunks").add(span);
+    reg.counter("pe.spilled_chunks").add(stats.spilled_chunks);
+    reg.counter("pe.spilled_bytes").add(stats.spilled_bytes);
+    reg.counter("pe.buffers_recycled").add(stats.buffers_recycled);
+    reg.counter("pe.buffers_allocated").add(stats.buffers_allocated);
+    reg.counter("pe.peak_buffered_bytes", obs::MergeKind::max)
+        .record_max(stats.peak_buffered_bytes);
     return stats;
 }
 

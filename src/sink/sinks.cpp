@@ -10,6 +10,7 @@
 
 #include "common/bytes.hpp"
 #include "common/fileio.hpp"
+#include "obs/trace.hpp"
 
 namespace kagen {
 
@@ -247,6 +248,11 @@ BinaryFileSink::~BinaryFileSink() {
 }
 
 void BinaryFileSink::consume(const Edge* edges, std::size_t count) {
+    static obs::Counter& edges_ctr =
+        obs::Registry::global().counter("sink.edges_written");
+    static obs::Counter& bytes_ctr =
+        obs::Registry::global().counter("sink.bytes_written");
+    const obs::Span span(obs::Phase::sink_write, count * sizeof(Edge));
     // One bulk fwrite per batch: the Edge array *is* the file byte layout
     // (static_assert above), so the whole batch is a single memcpy into the
     // stream buffer — no per-edge call, no staging copy.
@@ -257,6 +263,8 @@ void BinaryFileSink::consume(const Edge* edges, std::size_t count) {
     }
     num_edges_ += count;
     bytes_written_ += count * sizeof(Edge);
+    edges_ctr.add(count);
+    bytes_ctr.add(count * sizeof(Edge));
 }
 
 void BinaryFileSink::finish() {

@@ -11,6 +11,7 @@
 #include <unistd.h>
 
 #include "common/fileio.hpp"
+#include "obs/metrics.hpp"
 
 namespace kagen::spill {
 namespace {
@@ -100,6 +101,12 @@ SpillFile::Segment SpillFile::append(const Edge* edges, std::size_t count) {
         end_ += bytes;
     }
     if (count > 0) write_all(fd_, edges, bytes, seg.offset);
+    static obs::Counter& bytes_ctr =
+        obs::Registry::global().counter("spill.bytes_written");
+    static obs::Counter& seg_ctr =
+        obs::Registry::global().counter("spill.segments");
+    bytes_ctr.add(bytes);
+    seg_ctr.add(1);
     return seg;
 }
 
@@ -121,6 +128,9 @@ void SpillFile::replay(const Segment& seg, EdgeSink& sink) const {
         sink.deliver(buf.data(), got);
         pos += got;
     }
+    static obs::Counter& replay_ctr =
+        obs::Registry::global().counter("spill.bytes_replayed");
+    replay_ctr.add(seg.count * sizeof(Edge));
 }
 
 u64 SpillFile::bytes_spilled() const {

@@ -23,6 +23,7 @@
 #include "net/protocol.hpp"
 #include "net/socket.hpp"
 #include "net/worker.hpp"
+#include "obs/trace.hpp"
 
 namespace kagen {
 namespace {
@@ -302,7 +303,9 @@ TEST(NetCodec, JobAndReportRoundTrip) {
     job.want_file    = true;
     job.send_file    = false;
     job.degree_stats = true;
+    job.want_trace   = true;
     const net::JobSpec back = net::decode_job(net::encode_job(job));
+    EXPECT_EQ(back.want_trace, job.want_trace);
     EXPECT_EQ(back.rank, job.rank);
     EXPECT_EQ(back.num_workers, job.num_workers);
     EXPECT_EQ(back.num_chunks, job.num_chunks);
@@ -335,6 +338,47 @@ TEST(NetCodec, JobAndReportRoundTrip) {
     EXPECT_THROW(net::decode_report(net::encode_job(job)), std::runtime_error);
     EXPECT_THROW(net::decode_job(net::encode_report(report)),
                  std::runtime_error);
+}
+
+TEST(NetCodec, TelemetryMessageRoundTripsAndRejectsCorruption) {
+    obs::RankTelemetry t;
+    t.rank          = 1;
+    t.clock_base_ns = 123456;
+    obs::TraceEvent ev;
+    ev.begin_ns = 10;
+    ev.dur_ns   = 5;
+    ev.phase    = obs::Phase::generate;
+    t.events.push_back(ev);
+    t.metrics.counters["pe.chunks"] = {4, obs::MergeKind::sum};
+
+    const std::vector<u8> wire    = net::encode_telemetry(t);
+    const obs::RankTelemetry back = net::decode_telemetry(wire);
+    EXPECT_EQ(back.rank, 1u);
+    EXPECT_EQ(back.clock_base_ns, 123456u);
+    ASSERT_EQ(back.events.size(), 1u);
+    EXPECT_EQ(back.events[0].phase, obs::Phase::generate);
+    EXPECT_EQ(back.metrics.counter_or("pe.chunks"), 4u);
+
+    // Wrong message type behind the tag.
+    dist::RankReport report;
+    report.rank = 1;
+    EXPECT_THROW(net::decode_telemetry(net::encode_report(report)),
+                 std::runtime_error);
+    EXPECT_THROW(net::decode_report(net::encode_telemetry(t)),
+                 std::runtime_error);
+
+    // Torn frame: every proper prefix must be rejected, not mis-decoded.
+    for (const std::size_t cut :
+         {wire.size() - 1, wire.size() / 2, std::size_t{12}}) {
+        const std::vector<u8> torn(wire.begin(),
+                                   wire.begin() + static_cast<long>(cut));
+        EXPECT_THROW(net::decode_telemetry(torn), std::runtime_error)
+            << "cut at " << cut;
+    }
+    // Trailing garbage after a well-formed telemetry body.
+    std::vector<u8> oversized = wire;
+    oversized.insert(oversized.end(), 64, u8{0});
+    EXPECT_THROW(net::decode_telemetry(oversized), std::runtime_error);
 }
 
 // ---------------------------------------------------------------------------
@@ -394,6 +438,53 @@ INSTANTIATE_TEST_SUITE_P(
     ::testing::Combine(::testing::Values(Model::GnmUndirected, Model::Rgg2D),
                        ::testing::Values(EdgeSemantics::as_generated,
                                          EdgeSemantics::exact_once)));
+
+TEST(NetTelemetry, TelemetryRunStaysByteIdenticalAndMergesEveryRank) {
+    Config cfg        = model_config(Model::GnmUndirected);
+    cfg.chunks_per_pe = 2;
+    const u64 pes     = 4;
+    const std::string ref_path = single_process_file(cfg, pes, "telemetry");
+    const std::string ref      = read_bytes(ref_path);
+
+    cfg.trace_path   = tmp_path("net.trace.json");
+    cfg.metrics_path = tmp_path("net.metrics.json");
+
+    net::Listener listener(net::parse_endpoint("127.0.0.1:0"));
+    net::NetOptions opts;
+    opts.listener       = &listener;
+    opts.expect_workers = 2;
+    opts.num_pes        = pes;
+    opts.output_path    = tmp_path("telemetry.net.bin");
+    WorkerFleet fleet(listener.port(), 2);
+    const net::NetResult res = net::run_net_coordinator(cfg, opts);
+    fleet.join();
+    for (const auto& err : fleet.errors()) EXPECT_TRUE(err.empty()) << err;
+
+    // Telemetry must not change one output byte.
+    EXPECT_EQ(read_bytes(opts.output_path), ref);
+
+    // The TCP summary no longer drops the engine stats the ranks reported.
+    u64 recycled = 0;
+    for (const auto& rep : res.ranks) recycled += rep.stats.buffers_recycled;
+    EXPECT_EQ(res.buffers_recycled, recycled);
+    EXPECT_EQ(res.spilled_chunks, 0u);
+
+    // Merged timeline names every rank plus the coordinator.
+    const std::string trace = read_bytes(cfg.trace_path);
+    EXPECT_NE(trace.find("\"traceEvents\""), std::string::npos);
+    EXPECT_NE(trace.find("\"rank 0\""), std::string::npos);
+    EXPECT_NE(trace.find("\"rank 1\""), std::string::npos);
+    EXPECT_NE(trace.find("\"coordinator\""), std::string::npos);
+
+    const std::string metrics = read_bytes(cfg.metrics_path);
+    EXPECT_NE(metrics.find("\"counters\""), std::string::npos);
+    EXPECT_NE(metrics.find("\"pe.chunks\""), std::string::npos);
+
+    std::remove(opts.output_path.c_str());
+    std::remove(ref_path.c_str());
+    std::remove(cfg.trace_path.c_str());
+    std::remove(cfg.metrics_path.c_str());
+}
 
 TEST(NetCoordinator, StatsOnlyRunMergesExactly) {
     Config cfg        = model_config(Model::GnmUndirected);

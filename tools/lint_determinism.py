@@ -16,8 +16,8 @@ Rules (ids are what the allowlist references):
                       must come from the seeded counter PRNG (prng/rng.hpp).
   wall-clock          time()/gettimeofday()/clock()/ftime()/localtime()/
                       std::chrono::system_clock — wall-clock values must
-                      never exist in generation code (steady_clock is fine:
-                      it only feeds timing stats, never output bytes).
+                      never exist in generation code (monotonic time is
+                      available via obs::monotonic_now(), see below).
   unordered-iteration range-for or .begin() over a std::unordered_* variable
                       — hash iteration order is libc- and run-dependent, so
                       it must never reach an emit/serialize path. Lookups
@@ -33,6 +33,12 @@ Rules (ids are what the allowlist references):
                       sleep_for/sleep_until in src/ — sleeps hide lost
                       wakeups and turn protocol bugs into flaky slowness;
                       deadlines belong on poll(2), not on naps.
+  monotonic-clock     clock_gettime()/std::chrono::steady_clock — every
+                      timestamp must flow through obs::monotonic_now()
+                      (obs/trace.hpp), the codebase's single allowlisted
+                      clock read. One clock site means the "timestamps
+                      never feed generation" argument (DESIGN.md §13) is
+                      auditable at one place instead of N.
 
 Allowlist: one entry per line in the file passed via --allowlist,
   <rule-id> <path-suffix> "<line substring>"  # justification
@@ -56,6 +62,8 @@ LINE_RULES = [
     ("sleep",
      re.compile(r"\b(sleep|usleep|nanosleep)\s*\(|"
                 r"this_thread::sleep_(for|until)")),
+    ("monotonic-clock",
+     re.compile(r"\bclock_gettime\s*\(|steady_clock")),
 ]
 
 DISCARDED_IO = re.compile(
