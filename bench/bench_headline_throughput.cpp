@@ -13,10 +13,55 @@
 // power-law RHG instance) stop dominating the makespan. It reports the
 // 1-chunk-per-PE makespan, the K-chunk makespan, and their ratio — on a
 // multicore host speedup_vs_1chunk > 1 for the skewed workload.
+#include <atomic>
 #include <cstdio>
+#include <cstdlib>
+#include <new>
 #include <thread>
 
 #include "bench_common.hpp"
+
+namespace {
+
+/// Global-new interposition for the AllocationChurn bench: one relaxed
+/// fetch_add per allocation, negligible against the counted work. Counts
+/// every heap allocation in the process, including generator internals —
+/// the arena PR's claim is that the *pipeline's* share is zero, so the
+/// total collapses from O(chunks) to a small per-run constant plus
+/// whatever the generators themselves allocate.
+std::atomic<unsigned long long> g_alloc_calls{0};
+
+} // namespace
+
+void* operator new(std::size_t size) {
+    g_alloc_calls.fetch_add(1, std::memory_order_relaxed);
+    if (void* p = std::malloc(size ? size : 1)) return p;
+    throw std::bad_alloc();
+}
+void* operator new[](std::size_t size) { return ::operator new(size); }
+void* operator new(std::size_t size, std::align_val_t align) {
+    g_alloc_calls.fetch_add(1, std::memory_order_relaxed);
+    const std::size_t a =
+        std::max(static_cast<std::size_t>(align), sizeof(void*));
+    void* p = nullptr;
+    if (posix_memalign(&p, a, size ? size : a) != 0) throw std::bad_alloc();
+    return p;
+}
+void* operator new[](std::size_t size, std::align_val_t align) {
+    return ::operator new(size, align);
+}
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept {
+    std::free(p);
+}
+void operator delete[](void* p, std::size_t, std::align_val_t) noexcept {
+    std::free(p);
+}
 
 namespace {
 
@@ -303,6 +348,56 @@ BENCHMARK(BoundedDeliveryOverhead)
     ->Iterations(3)
     ->Unit(benchmark::kMillisecond);
 
+void AllocationChurn(benchmark::State& state) {
+    // The arena-PR headline metric (DESIGN.md §14): heap-allocation calls
+    // per run of the multi-worker ordered hot path, counted by the
+    // interposed operator new above. Before the arena, the pipeline
+    // allocated O(chunks) vectors (plus doubling regrowth); with slab
+    // recycling the pipeline's share is zero, so the reported total is a
+    // small per-run constant plus generator internals — allocs_per_Medge
+    // should sit orders of magnitude below one per thousand edges.
+    const u64 P = 4;
+
+    Config cfg;
+    cfg.model         = Model::GnmDirected;
+    cfg.n             = u64{1} << 18;
+    cfg.m             = u64{1} << 22;
+    cfg.seed          = 3;
+    cfg.chunks_per_pe = 4;
+
+    const std::string out = "/tmp/kagen_bench_allocation_churn.bin";
+    {
+        CountingSink warmup;
+        generate_chunked(cfg, P, warmup);
+    }
+    double t = 0.0;
+    u64 edges = 0;
+    unsigned long long allocs = 0;
+    for (auto _ : state) {
+        BinaryFileSink sink(out);
+        g_alloc_calls.store(0, std::memory_order_relaxed);
+        const ChunkStats stats = generate_chunked(cfg, P, sink);
+        allocs                 = g_alloc_calls.load(std::memory_order_relaxed);
+        sink.finish();
+        t     = stats.seconds;
+        edges = sink.num_edges();
+        state.SetIterationTime(t);
+    }
+    std::remove(out.c_str());
+    state.counters["PEs"]             = static_cast<double>(P);
+    state.counters["edges"]           = static_cast<double>(edges);
+    state.counters["allocs"]          = static_cast<double>(allocs);
+    state.counters["allocs_per_Medge"] =
+        static_cast<double>(allocs) / (static_cast<double>(edges) / 1e6);
+    state.counters["makespan_s"] = t;
+    state.counters["Medges/s"]   = static_cast<double>(edges) / t / 1e6;
+}
+
+BENCHMARK(AllocationChurn)
+    ->UseManualTime()
+    ->Iterations(3)
+    ->Unit(benchmark::kMillisecond);
+
 } // namespace
 
 KAGEN_BENCH_MAIN(
@@ -322,6 +417,8 @@ KAGEN_BENCH_MAIN(
     "from generation to disk (bulk batched writes, recycled buffers, "
     "direct streaming). (6) Sampler-version speedup: the PR-6 headline — "
     "interleaved v1/v2 runs of the directed G(n,m) instance; "
-    "speedup_v2_over_v1 >= 2 is the tentpole claim. EXPERIMENTS.md "
-    "records the before/after and BENCH_6.json pins the baseline CI "
-    "diffs against.")
+    "speedup_v2_over_v1 >= 2 is the tentpole claim. (7) Allocation churn: "
+    "heap-allocation calls per hot-path run via interposed operator new — "
+    "the arena PR's zero-steady-state-malloc claim as a tracked number "
+    "(allocs_per_Medge). EXPERIMENTS.md records the before/after and "
+    "BENCH_6.json pins the baseline CI diffs against.")

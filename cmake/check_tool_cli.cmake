@@ -22,6 +22,9 @@ set(CASES
     "invalid value '1e6'|gnm_undirected -n 1e6"
     "invalid value '-5'|gnm_undirected -n -5"
     "invalid value '12abc'|gnm_undirected -m 12abc"
+    "invalid value 'banana'|gnm_undirected -arena-slab-bytes banana"
+    "invalid value '-4096'|gnm_undirected -arena-slab-bytes -4096"
+    "missing its value|gnm_undirected -arena-slab-bytes"
     "expected a finite number|gnp_undirected -p high"
     "expected a finite number|rgg2d -r 0.1oops"
     "attachment degree|ba -d 2.5"

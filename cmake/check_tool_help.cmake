@@ -21,7 +21,7 @@ set(EXPECTED_FLAGS
     -rank -size -o
     -sink -pes -chunks-per-pe -chunks -edge-semantics
     -sink-buffer-edges -pin-threads
-    -max-buffered-bytes -spill-path
+    -max-buffered-bytes -spill-path -arena-slab-bytes
     -dedup-out -sort-memory
     -ranks -threads-per-rank -keep-rank-files
     -listen -connect -expect-workers -manifest -net-timeout -net-deadline

@@ -80,7 +80,7 @@ void print_verbose_metrics() {
     if (g_verbose == 0) return;
     const obs::Snapshot snap = obs::Registry::global().snapshot();
     for (const auto& [name, c] : snap.counters) {
-        if (name.rfind("pool.", 0) == 0) {
+        if (name.rfind("pool.", 0) == 0 || name.rfind("pe.arena.", 0) == 0) {
             std::printf("%s=%llu\n", name.c_str(),
                         static_cast<unsigned long long>(c.value));
         }
@@ -134,6 +134,9 @@ void print_help(std::FILE* out, const char* argv0) {
         "              replay in order (0 = unbounded). Output is identical;\n"
         "              peak memory is B + one chunk\n"
         "  -spill-path FILE   spill scratch location (default: anonymous $TMPDIR)\n"
+        "  -arena-slab-bytes B   per-slab size of the chunk arena backing the\n"
+        "              ordered multi-worker path (default 1 MiB). Memory layout\n"
+        "              only: output is byte-identical for every value\n"
         "\n"
         "External-memory dedup (after -sink file or -ranks ... -sink file):\n"
         "  -dedup-out FILE    sort/dedup pass to FILE — the canonical\n"
@@ -624,6 +627,8 @@ int main(int argc, char** argv) {
         else if (flag == "-max-buffered-bytes")
             cfg.max_buffered_bytes = parse_u64(flag, val);
         else if (flag == "-spill-path") cfg.spill_path = val;
+        else if (flag == "-arena-slab-bytes")
+            cfg.arena_slab_bytes = parse_u64(flag, val);
         else if (flag == "-dedup-out") dedup_out = val;
         else if (flag == "-sort-memory") sort_memory = parse_u64(flag, val);
         else if (flag == "-edge-semantics") {

@@ -239,6 +239,7 @@ RankReport execute_rank_job(const Config& cfg, const RankJob& job) {
         copt.chunk_begin        = job.chunk_begin;
         copt.chunk_end          = job.chunk_end;
         copt.max_buffered_bytes = cfg.max_buffered_bytes;
+        copt.arena_slab_bytes   = cfg.arena_slab_bytes;
         copt.pin_threads        = cfg.pin_threads;
         copt.deal_granularity   = chunk_deal_granularity(cfg);
         if (!cfg.spill_path.empty()) {

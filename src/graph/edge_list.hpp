@@ -8,6 +8,24 @@
 
 namespace kagen {
 
+/// Non-owning view of a contiguous run of edges — the currency of the
+/// arena-backed chunk pipeline (pe/arena.hpp): a chunk parked in a slab
+/// chain is delivered as one `EdgeSpan` per slab, so no fixed-capacity
+/// buffer ever has to be contiguous (and hence never reallocates).
+struct EdgeSpan {
+    const Edge* data = nullptr;
+    u64 count        = 0;
+
+    const Edge* begin() const { return data; }
+    const Edge* end() const { return data + count; }
+    u64 bytes() const { return count * sizeof(Edge); }
+};
+
+/// Appends a span to a materialized edge list.
+inline void append(EdgeList& dst, EdgeSpan src) {
+    dst.insert(dst.end(), src.begin(), src.end());
+}
+
 /// Orders each undirected edge as (min, max).
 inline void canonicalize(EdgeList& edges) {
     for (auto& [u, v] : edges) {

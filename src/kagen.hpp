@@ -97,6 +97,15 @@ struct Config {
     /// Spill scratch location; empty = anonymous temp file under $TMPDIR.
     std::string spill_path;
 
+    /// Per-slab size of the chunk arena backing the ordered multi-worker
+    /// path (pe/arena.hpp; tool: -arena-slab-bytes). 0 = the arena default
+    /// (1 MiB). Memory layout only — the output stream is byte-identical
+    /// for every value, so like trace_path/metrics_path this field is
+    /// deliberately NOT part of `encode_config`: it cannot change the
+    /// graph, hence it must not change the config's content-address (TCP
+    /// workers simply use their local setting).
+    u64 arena_slab_bytes = 0;
+
     /// Inline emit-buffer capacity (edges) for sinks the library constructs
     /// on the caller's behalf — the per-rank BinaryFileSink of the
     /// distributed backend in particular. 0 = EdgeSink::kDefaultBufferEdges.
@@ -457,9 +466,12 @@ struct ChunkStats {
     u64 spilled_chunks      = 0; ///< chunks parked on disk
     u64 spilled_bytes       = 0; ///< edge bytes written to the spill file
 
-    // Chunk-buffer pool accounting (multi-worker ordered runs only).
-    u64 buffers_recycled  = 0; ///< chunk buffers reused from the pool
-    u64 buffers_allocated = 0; ///< chunk buffers freshly allocated
+    // Chunk-arena accounting (multi-worker ordered runs only). A "buffer"
+    // is a slab of the chunk arena (pe/arena.hpp).
+    u64 buffers_recycled  = 0; ///< slab acquires served from the freelist
+    u64 buffers_allocated = 0; ///< slabs freshly reserved (mmap/fallback)
+    u64 arena_chains      = 0; ///< chunks that chained a second+ slab
+    u64 arena_slab_bytes  = 0; ///< per-slab size the run used
 };
 
 /// Whole-graph chunked engine: runs every canonical chunk (total_chunks,
@@ -516,6 +528,7 @@ inline ChunkStats generate_chunked(const Config& cfg, u64 num_pes, EdgeSink& sin
     opt.pool               = pool;
     opt.max_buffered_bytes = cfg.max_buffered_bytes;
     opt.spill_path         = cfg.spill_path;
+    opt.arena_slab_bytes   = cfg.arena_slab_bytes;
     opt.pin_threads        = cfg.pin_threads;
     opt.deal_granularity   = chunk_deal_granularity(cfg);
     const auto stats       = pe::run_chunked(
@@ -532,6 +545,8 @@ inline ChunkStats generate_chunked(const Config& cfg, u64 num_pes, EdgeSink& sin
     out.spilled_bytes       = stats.spilled_bytes;
     out.buffers_recycled    = stats.buffers_recycled;
     out.buffers_allocated   = stats.buffers_allocated;
+    out.arena_chains        = stats.arena_chains;
+    out.arena_slab_bytes    = stats.arena_slab_bytes;
 
     if (want_obs) {
         obs::TraceRecorder::global().enable(false);

@@ -1,98 +1,73 @@
 /// \file chunk_pool.hpp
-/// \brief Recycling pool of chunk edge buffers for the ordered delivery
-///        path of the chunked execution engine (DESIGN.md §9).
+/// \brief Arena-backed chunk-buffer pool for the ordered delivery path of
+///        the chunked execution engine (DESIGN.md §14).
 ///
-/// Before this pool, `pe::run_chunked` heap-allocated a fresh `EdgeList`
-/// for every logical chunk and freed it after delivery: one malloc, a
-/// doubling-growth reallocation cascade while the chunk filled, and one
-/// free — per chunk, times K·P chunks. Recycling the buffers removes all
-/// of it after warm-up: a released buffer keeps its capacity, so the next
-/// chunk that acquires it appends with zero reallocations, and the
-/// steady-state *payload* allocations of a run drop to at most
-/// `max_retained` (plus parked buffers under completion skew). The small
-/// fixed-size emit buffer of the per-chunk `MemorySink` facade remains
-/// one allocation per chunk — constant-sized, never grown, and dwarfed by
-/// a chunk's generation work.
+/// `ChunkBufferPool` owns a `SlabArena` (pe/arena.hpp) and hands out
+/// `ChunkBuffer`s — non-owning slab-chain views that replace the hot
+/// path's former heap-grown `std::vector<Edge>` payloads. Acquiring a
+/// buffer is free (the first slab binds lazily on first write); releasing
+/// one returns its chain to the arena's O(1) freelist. After warm-up the
+/// steady-state fill→park→deliver→recycle cycle of a chunk performs zero
+/// malloc/free: slabs come off the freelist, overflow chains slabs instead
+/// of reallocating, and delivery hands per-slab `EdgeSpan` segments to the
+/// sink.
+///
+/// Bounded-memory mode (`decommit_on_release == true`): recycling stays on
+/// — unlike the pre-arena design, which disabled the pool entirely because
+/// a retained vector's capacity was resident memory the spill window's
+/// budget accounting could not see. A decommitted freelist slab keeps its
+/// mapping (so reuse is still mmap-free and counts as a freelist hit) but
+/// returns its payload pages to the kernel, so the documented
+/// "budget + one chunk" peak bound holds for physical memory too. See
+/// arena.hpp and the spill window in pe.cpp.
 ///
 /// Concurrency: producers acquire on their worker thread; the designated
-/// drainer releases after sink delivery (possibly a different thread). The
-/// free list is a mutex-guarded stack — two lock acquisitions per *chunk*
-/// (vs. millions of per-edge operations), unmeasurable next to generation.
-///
-/// Interaction with the spill window: a retained buffer's capacity is
-/// resident memory the `max_buffered_bytes` accounting cannot see, so
-/// bounded-memory runs construct the pool with `max_retained == 0`
-/// (release frees immediately) and keep the documented
-/// "budget + one chunk" peak bound exact. See pe.cpp.
+/// drainer releases after sink delivery (possibly a different thread).
+/// Both are two short freelist lock acquisitions per *chunk* (vs. millions
+/// of per-edge operations), unmeasurable next to generation.
 #pragma once
 
-#include <mutex>
-#include <vector>
-
 #include "common/types.hpp"
+#include "pe/arena.hpp"
 
 namespace kagen::pe {
 
 class ChunkBufferPool {
 public:
-    /// \param max_retained buffers kept alive on the free list; releases
-    ///        beyond it free their memory. 0 disables recycling entirely.
-    explicit ChunkBufferPool(u64 max_retained) : max_retained_(max_retained) {}
+    /// \param slab_bytes per-slab size; 0 = SlabArena::kDefaultSlabBytes.
+    /// \param populate   pre-fault slab pages (MAP_POPULATE) instead of
+    ///        first-touch by the writing worker.
+    /// \param decommit_on_release bounded-memory mode: released slabs give
+    ///        their payload pages back to the kernel (see file comment).
+    explicit ChunkBufferPool(u64 slab_bytes = 0, bool populate = false,
+                             bool decommit_on_release = false)
+        : arena_(slab_bytes, populate, decommit_on_release) {}
 
     ChunkBufferPool(const ChunkBufferPool&)            = delete;
     ChunkBufferPool& operator=(const ChunkBufferPool&) = delete;
 
-    /// An empty buffer: recycled (capacity preserved) when the free list
-    /// has one, freshly default-constructed otherwise.
-    EdgeList acquire() {
-        {
-            std::lock_guard<std::mutex> lock(mutex_);
-            if (!free_.empty()) {
-                EdgeList buf = std::move(free_.back());
-                free_.pop_back();
-                ++recycled_;
-                return buf;
-            }
-            ++allocated_;
-        }
-        return EdgeList{};
-    }
+    /// An empty arena-backed buffer. No slab is held until first write —
+    /// acquiring is free; the per-chunk emit facade (`ArenaSink`) binds the
+    /// first slab on construction, freelist-served after warm-up.
+    ChunkBuffer acquire() { return ChunkBuffer(&arena_); }
 
-    /// Hands a buffer back. Contents are discarded (cleared); capacity is
-    /// retained while the free list is below `max_retained`, else the
-    /// memory is released here.
-    void release(EdgeList buf) {
-        buf.clear();
-        if (buf.capacity() == 0) return; // nothing worth keeping
-        std::lock_guard<std::mutex> lock(mutex_);
-        if (free_.size() < max_retained_) free_.push_back(std::move(buf));
-        // else: `buf` frees on scope exit
-    }
+    /// Explicit early release (the ChunkBuffer destructor does the same).
+    void release(ChunkBuffer& buf) { buf.release(); }
 
-    /// Acquires that reused a retained buffer (the recycling hit count).
-    u64 buffers_recycled() const {
-        std::lock_guard<std::mutex> lock(mutex_);
-        return recycled_;
-    }
+    SlabArena& arena() { return arena_; }
+    const SlabArena& arena() const { return arena_; }
 
-    /// Acquires that had to default-construct a fresh buffer.
-    u64 buffers_allocated() const {
-        std::lock_guard<std::mutex> lock(mutex_);
-        return allocated_;
-    }
-
-    /// Buffers currently parked on the free list.
-    u64 buffers_retained() const {
-        std::lock_guard<std::mutex> lock(mutex_);
-        return free_.size();
-    }
+    // Legacy-named accessors kept for ChunkRunStats continuity: a "buffer"
+    // is now a slab.
+    /// Slab acquires served from the freelist (the recycling hit count).
+    u64 buffers_recycled() const { return arena_.freelist_hits(); }
+    /// Slabs freshly reserved from the kernel (or heap fallback).
+    u64 buffers_allocated() const { return arena_.slabs_reserved(); }
+    /// Slabs currently parked on the freelist.
+    u64 buffers_retained() const { return arena_.freelist_size(); }
 
 private:
-    mutable std::mutex mutex_;
-    std::vector<EdgeList> free_;
-    const u64 max_retained_;
-    u64 recycled_  = 0;
-    u64 allocated_ = 0;
+    SlabArena arena_;
 };
 
 } // namespace kagen::pe

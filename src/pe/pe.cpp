@@ -1,6 +1,7 @@
 #include "pe/pe.hpp"
 
 #include <algorithm>
+#include <array>
 #include <atomic>
 #include <cassert>
 #include <condition_variable>
@@ -17,8 +18,8 @@
 
 #include "common/math.hpp"
 #include "obs/trace.hpp"
+#include "pe/arena.hpp"
 #include "pe/chunk_pool.hpp"
-#include "sink/sinks.hpp"
 #include "sink/spill.hpp"
 
 namespace kagen::pe {
@@ -408,11 +409,13 @@ namespace {
 
 /// Per-chunk facade that forwards batches straight into a shared
 /// order-insensitive sink (whose consume() is thread-safe by contract).
-/// Construction zero-fills the inline buffer — negligible next to a
-/// chunk's generation work, so it is not hoisted per participant.
+/// Uses external-buffer mode over caller-owned (stack) storage, so
+/// constructing one allocates nothing — the unordered path is as
+/// heap-quiet as the ordered arena path (DESIGN.md §14).
 class ForwardingSink final : public EdgeSink {
 public:
-    explicit ForwardingSink(EdgeSink& target) : target_(target) {}
+    ForwardingSink(EdgeSink& target, Edge* buffer, std::size_t capacity)
+        : EdgeSink(buffer, capacity), target_(target) {}
 
     /// Edges handed to the target so far (exact after flush()).
     u64 edges_forwarded() const { return forwarded_; }
@@ -428,20 +431,29 @@ private:
     u64 forwarded_ = 0;
 };
 
-/// Bounded-memory ordered delivery: completed chunks park (in RAM while the
-/// byte budget allows, on disk past it) until the cursor reaches them, and
-/// a single *designated drainer* streams the contiguous ready prefix into
-/// the sink. The bookkeeping mutex guards only the slot/cursor state —
-/// never sink or spill I/O — so one slow disk write no longer stalls every
-/// producer, and resident chunk-buffer bytes never exceed the budget plus
-/// the one chunk currently in flight to the sink.
+/// Bounded-memory ordered delivery over a lock-free ready queue: completed
+/// chunks publish their slab chains into fixed per-chunk slots (in RAM
+/// while the byte budget allows, on disk past it), and a single
+/// *designated drainer* streams the contiguous ready prefix into the sink.
+/// There is no bookkeeping mutex any more: budget admission is a CAS on
+/// the resident byte count, slot publication is one release store, and
+/// drainer election is a CAS on a flag — producers never serialize against
+/// each other or against sink/spill I/O, and slab recycling happens on the
+/// arena's own freelist with no delivery state held (DESIGN.md §14).
 ///
-/// Drainer protocol: whoever completes a chunk while `draining_` is false
-/// and the cursor slot is ready becomes the drainer; it re-acquires the
-/// lock between chunks, so chunks parked meanwhile are picked up in the
-/// same pass. `draining_` flips only under the lock, hence at most one
-/// drainer exists and sink delivery stays serialized and in canonical
-/// order — the output is byte-identical to a sequential run.
+/// Memory-ordering argument: a producer fills its slot's payload fields,
+/// then publishes with `state.store(release)`; the drainer reads
+/// `state.load(acquire)` before touching the payload, so every fill
+/// happens-before its drain. Drainer election: the `draining_` CAS
+/// (acq_rel) admits exactly one drainer, so sink delivery stays serialized
+/// and in canonical chunk order — the output is byte-identical to a
+/// sequential run. A producer whose CAS fails walks away and relies on the
+/// active drainer's re-check loop: the drainer clears the flag *then*
+/// re-examines the cursor slot, so a slot published concurrently with the
+/// hand-off is never stranded. The cursor advances only inside the drainer
+/// (release store), after the chunk's bytes left the resident count, so at
+/// most one cursor-exempt chunk is ever resident and the documented
+/// "budget + one chunk" peak bound is exact.
 class OrderedDelivery {
 public:
     OrderedDelivery(u64 num_chunks, u64 chunk_base, u64 max_buffered_bytes,
@@ -456,132 +468,198 @@ public:
         }
     }
 
+    ~OrderedDelivery() {
+        if (scratch_ != nullptr) pool_.arena().release(scratch_);
+    }
+
     /// Called by the producing worker when chunk `chunk` has finished
-    /// generating. Takes ownership of `edges`.
-    void complete(u64 chunk, EdgeList edges) {
-        const u64 bytes = edges.size() * sizeof(Edge);
-        std::unique_lock<std::mutex> lock(mutex_);
-        Slot& slot = slots_[chunk];
+    /// generating. Takes ownership of the slab chain in `buf`.
+    void complete(u64 chunk, ChunkBuffer buf) {
+        const u64 bytes = buf.bytes();
+        Slot& slot      = slots_[chunk];
         // After a sink failure the run is unwinding (parallel_for cancels
-        // pending tasks, the drainer's exception is propagating) — park
-        // in RAM without spill I/O and never re-enter the drain: the
-        // cursor slot was already consumed by the failed delivery.
-        const bool over_budget =
-            !failed_ && budget_ != 0 && resident_bytes_ + bytes > budget_;
-        // The cursor chunk is about to leave through the sink anyway; it is
-        // the "+ one chunk" allowance and never worth a disk round-trip.
-        const bool at_cursor = !draining_ && chunk == cursor_;
-        if (over_budget && !at_cursor && !edges.empty()) {
-            lock.unlock();
+        // pending tasks, the drainer's exception is propagating) — park in
+        // RAM without spill I/O and never re-enter the drain: the cursor
+        // slot was already consumed by the failed delivery.
+        const bool failed = failed_.load(std::memory_order_acquire);
+        if (!failed && bytes > 0 && !admit(chunk, bytes)) {
             obs::instant(obs::Phase::budget_park, chunk_base_ + chunk);
-            // Spill outside the bookkeeping lock: SpillFile::append only
-            // serializes the offset reservation, so concurrent spillers
+            // Spill with no delivery state held: SpillFile::append only
+            // serializes its offset reservation, so concurrent spillers
             // overlap their writes and non-spilling producers are untouched.
             auto parked = std::make_unique<spill::SpillSink>(*spill_);
             {
                 obs::Span park_span(obs::Phase::spill_park, chunk_base_ + chunk);
-                parked->deliver(edges.data(), edges.size());
+                buf.for_each_segment([&](EdgeSpan seg) {
+                    parked->deliver(seg.data, seg.count);
+                });
                 parked->finish();
             }
-            pool_.release(std::move(edges)); // hand back before re-locking
-                                             // (bounded mode: pool frees)
-            lock.lock();
+            buf.release(); // chain back to the freelist before publishing
             slot.spilled = std::move(parked);
-            slot.state   = Slot::State::spilled;
-            ++spilled_chunks_;
-            spilled_bytes_ += bytes;
+            spilled_chunks_.fetch_add(1, std::memory_order_relaxed);
+            spilled_bytes_.fetch_add(bytes, std::memory_order_relaxed);
+            slot.state.store(Slot::kSpilled, std::memory_order_release);
         } else {
-            slot.edges = std::move(edges);
-            slot.state = Slot::State::buffered;
-            resident_bytes_ += bytes;
-            peak_buffered_bytes_ = std::max(peak_buffered_bytes_, resident_bytes_);
+            slot.bytes = bytes;
+            slot.buf   = std::move(buf);
+            slot.state.store(Slot::kBuffered, std::memory_order_release);
         }
-        if (!draining_ && !failed_ && cursor_ < slots_.size() &&
-            slots_[cursor_].state != Slot::State::pending) {
-            drain(lock);
-        }
+        if (!failed) maybe_drain();
     }
 
-    u64 delivered_chunks() const { return cursor_; }
-    u64 peak_buffered_bytes() const { return peak_buffered_bytes_; }
-    u64 spilled_chunks() const { return spilled_chunks_; }
-    u64 spilled_bytes() const { return spilled_bytes_; }
+    u64 delivered_chunks() const {
+        return cursor_.load(std::memory_order_acquire);
+    }
+    u64 peak_buffered_bytes() const {
+        return peak_.load(std::memory_order_acquire);
+    }
+    u64 spilled_chunks() const {
+        return spilled_chunks_.load(std::memory_order_relaxed);
+    }
+    u64 spilled_bytes() const {
+        return spilled_bytes_.load(std::memory_order_relaxed);
+    }
 
 private:
-    struct Slot {
-        enum class State : u8 { pending, buffered, spilled, delivered };
-        State state = State::pending;
-        EdgeList edges;                           ///< buffered payload
+    /// One chunk's ready-queue slot. The producing worker fills the payload
+    /// fields and publishes with the `state` release store; only the
+    /// drainer reads them afterwards. Cache-line alignment keeps
+    /// concurrently-publishing neighbours off one line.
+    struct alignas(64) Slot {
+        static constexpr u8 kPending  = 0;
+        static constexpr u8 kBuffered = 1;
+        static constexpr u8 kSpilled  = 2;
+        std::atomic<u8> state{kPending};
+        u64 bytes = 0;                             ///< resident edge bytes
+        ChunkBuffer buf;                           ///< buffered payload
         std::unique_ptr<spill::SpillSink> spilled; ///< spilled payload
     };
 
-    /// Streams the contiguous ready prefix into the sink. Entered with the
-    /// lock held and `draining_` false; the lock is dropped around every
-    /// sink/spill I/O operation and re-taken for cursor bookkeeping.
-    void drain(std::unique_lock<std::mutex>& lock) {
-        draining_ = true;
-        while (cursor_ < slots_.size()) {
-            Slot& slot = slots_[cursor_];
-            if (slot.state == Slot::State::pending) break;
-            try {
-                if (slot.state == Slot::State::buffered) {
-                    EdgeList edges  = std::move(slot.edges);
-                    slot.state      = Slot::State::delivered;
-                    const u64 bytes = edges.size() * sizeof(Edge);
-                    lock.unlock();
-                    {
-                        obs::Span span(obs::Phase::deliver, chunk_base_ + cursor_);
-                        sink_.deliver(edges.data(), edges.size());
-                    }
-                    // Recycle instead of freeing: the next chunk a producer
-                    // acquires appends into this capacity with zero
-                    // reallocations (DESIGN.md §9). Outside the lock.
-                    pool_.release(std::move(edges));
-                    lock.lock();
-                    resident_bytes_ -= bytes;
-                } else {
-                    auto parked = std::move(slot.spilled);
-                    slot.state  = Slot::State::delivered;
-                    lock.unlock();
-                    {
-                        obs::Span span(obs::Phase::spill_replay,
-                                       chunk_base_ + cursor_);
-                        parked->replay(sink_); // bounded batches off the disk
-                    }
-                    lock.lock();
-                }
-            } catch (...) {
-                // A failing sink (e.g. ENOSPC in BinaryFileSink) must not
-                // leave a phantom drainer behind: producers would park
-                // forever and the error would surface as a hang instead of
-                // the thrown exception. `failed_` additionally keeps
-                // still-running producers from re-entering the drain on
-                // the cursor slot, whose payload this attempt already
-                // consumed.
-                if (!lock.owns_lock()) lock.lock();
-                draining_ = false;
-                failed_   = true;
-                throw;
+    /// Budget admission: CAS-reserves `bytes` on the resident count, so the
+    /// count never transiently includes a chunk that then spills — the peak
+    /// statistic is exact, not a racy over-read. Returns false when the
+    /// chunk must spill. The cursor chunk (while no drainer is active) is
+    /// exempt: it is about to leave through the sink anyway and is never
+    /// worth a disk round-trip — the "+ one chunk" allowance of the bound.
+    bool admit(u64 chunk, u64 bytes) {
+        const bool at_cursor =
+            budget_ != 0 && chunk == cursor_.load(std::memory_order_acquire) &&
+            !draining_.load(std::memory_order_acquire);
+        u64 cur = resident_.load(std::memory_order_relaxed);
+        for (;;) {
+            if (budget_ != 0 && cur + bytes > budget_ && !at_cursor) {
+                return false;
             }
-            ++cursor_;
+            if (resident_.compare_exchange_weak(cur, cur + bytes,
+                                                std::memory_order_acq_rel,
+                                                std::memory_order_relaxed)) {
+                update_peak(cur + bytes);
+                return true;
+            }
         }
-        draining_ = false;
     }
 
-    std::mutex mutex_;
+    /// Drainer election: claim the flag when the cursor slot is ready. The
+    /// post-drain re-check closes the hand-off race — a producer that
+    /// published while we still held the flag saw its CAS fail and walked
+    /// away; its slot must not be stranded.
+    void maybe_drain() {
+        for (;;) {
+            if (failed_.load(std::memory_order_acquire)) return;
+            const u64 cur = cursor_.load(std::memory_order_acquire);
+            if (cur >= slots_.size() ||
+                slots_[cur].state.load(std::memory_order_acquire) ==
+                    Slot::kPending) {
+                return;
+            }
+            bool expected = false;
+            if (!draining_.compare_exchange_strong(expected, true,
+                                                   std::memory_order_acq_rel)) {
+                return; // the active drainer re-checks after clearing
+            }
+            drain_loop();
+            draining_.store(false, std::memory_order_release);
+        }
+    }
+
+    /// Streams the contiguous ready prefix into the sink. Runs with the
+    /// drainer flag held; no lock exists. Sink delivery, spill replay and
+    /// slab recycling all happen right here, fully concurrent with
+    /// producers filling and publishing later slots.
+    void drain_loop() {
+        u64 cur = cursor_.load(std::memory_order_relaxed); // sole writer
+        try {
+            while (cur < slots_.size()) {
+                Slot& slot  = slots_[cur];
+                const u8 st = slot.state.load(std::memory_order_acquire);
+                if (st == Slot::kPending) break;
+                if (st == Slot::kBuffered) {
+                    ChunkBuffer buf = std::move(slot.buf);
+                    const u64 bytes = slot.bytes;
+                    {
+                        obs::Span span(obs::Phase::deliver, chunk_base_ + cur);
+                        buf.for_each_segment([&](EdgeSpan seg) {
+                            sink_.deliver(seg.data, seg.count);
+                        });
+                    }
+                    // Recycle the chain: producers pull these very slabs
+                    // off the arena freelist for their next chunk — the
+                    // zero-steady-state-allocation cycle (DESIGN.md §14).
+                    buf.release();
+                    // Subtract *before* advancing the cursor: the next
+                    // chunk's cursor exemption must never overlap this
+                    // chunk's resident bytes, or the peak bound would read
+                    // budget + two chunks.
+                    resident_.fetch_sub(bytes, std::memory_order_acq_rel);
+                } else {
+                    auto parked = std::move(slot.spilled);
+                    obs::Span span(obs::Phase::spill_replay, chunk_base_ + cur);
+                    // Replay through a held scratch slab: the replay path
+                    // allocates nothing, and the bounded-memory footprint
+                    // stays budget + one chunk + one slab.
+                    if (scratch_ == nullptr) scratch_ = pool_.arena().acquire();
+                    parked->replay(sink_, scratch_->edges(), scratch_->capacity);
+                }
+                ++cur;
+                cursor_.store(cur, std::memory_order_release);
+            }
+        } catch (...) {
+            // A failing sink (e.g. ENOSPC in BinaryFileSink) must not leave
+            // a phantom drainer behind: producers would park forever and
+            // the error would surface as a hang instead of the thrown
+            // exception. Order matters — `failed_` must be visible before
+            // the flag clears, or a producer could slip in and re-drain the
+            // cursor slot whose payload this attempt already consumed.
+            failed_.store(true, std::memory_order_release);
+            draining_.store(false, std::memory_order_release);
+            throw;
+        }
+    }
+
+    void update_peak(u64 value) {
+        u64 cur = peak_.load(std::memory_order_relaxed);
+        while (cur < value &&
+               !peak_.compare_exchange_weak(cur, value,
+                                            std::memory_order_acq_rel,
+                                            std::memory_order_relaxed)) {
+        }
+    }
+
     std::vector<Slot> slots_;
-    const u64 chunk_base_;  ///< absolute id of slot 0 (trace span labels)
-    u64 cursor_    = 0;     ///< next chunk owed to the sink
-    bool draining_ = false; ///< a designated drainer is active
-    bool failed_   = false; ///< a delivery threw; no further draining
-    const u64 budget_;      ///< resident-byte budget; 0 = unbounded
-    u64 resident_bytes_ = 0; ///< parked-in-RAM + in-flight-to-sink bytes
-    u64 peak_buffered_bytes_ = 0;
-    u64 spilled_chunks_ = 0;
-    u64 spilled_bytes_  = 0;
+    const u64 chunk_base_; ///< absolute id of slot 0 (trace span labels)
+    std::atomic<u64> cursor_{0};       ///< next chunk owed to the sink
+    std::atomic<bool> draining_{false}; ///< a designated drainer is active
+    std::atomic<bool> failed_{false};   ///< a delivery threw; stop draining
+    const u64 budget_; ///< resident-byte budget; 0 = unbounded
+    std::atomic<u64> resident_{0}; ///< parked + in-flight-to-sink bytes
+    std::atomic<u64> peak_{0};
+    std::atomic<u64> spilled_chunks_{0};
+    std::atomic<u64> spilled_bytes_{0};
     std::unique_ptr<spill::SpillFile> spill_;
     ChunkBufferPool& pool_;
     EdgeSink& sink_;
+    Slab* scratch_ = nullptr; ///< drainer-owned spill-replay scratch slab
 };
 
 } // namespace
@@ -628,9 +706,11 @@ ChunkRunStats run_chunked(const ChunkOptions& opt, const ChunkFn& fn, EdgeSink& 
     const u64 start = obs::monotonic_now();
     if (!sink.ordered()) {
         // Order-insensitive sink: workers stream straight through private
-        // buffered facades; memory stays O(buffer) per worker.
+        // stack-buffered facades; memory stays O(buffer) per worker and no
+        // facade ever touches the heap.
         pool.parallel_for(span, workers, [&](u64 task) {
-            ForwardingSink forward(sink);
+            std::array<Edge, EdgeSink::kDefaultBufferEdges> stack_buf;
+            ForwardingSink forward(sink, stack_buf.data(), stack_buf.size());
             {
                 obs::Span gen(obs::Phase::generate, begin + task);
                 fn(begin + task, num_chunks, forward);
@@ -652,25 +732,32 @@ ChunkRunStats run_chunked(const ChunkOptions& opt, const ChunkFn& fn, EdgeSink& 
         }
         sink.flush();
     } else {
-        // Ordered sink, parallel run: chunks materialize into pool-recycled
-        // payload buffers which a single designated drainer hands over in
-        // canonical chunk order — the output stream is bit-identical to a
-        // sequential run, for any worker count and any steal schedule. Sink
-        // and spill I/O happen outside the bookkeeping lock, and chunks
-        // completing more than `max_buffered_bytes` ahead of the cursor
-        // park on disk, so peak memory is budget + one chunk instead of
-        // O(completion skew). Buffer recycling is only enabled in unbounded
-        // mode: a retained buffer's capacity is resident memory the budget
-        // accounting cannot see, and the strict bound wins in bounded mode
-        // (chunk_pool.hpp).
-        ChunkBufferPool buffers(opt.max_buffered_bytes == 0 ? stats.workers + 1
-                                                            : 0);
+        // Ordered sink, parallel run: chunks generate *directly into* arena
+        // slab chains (ArenaSink aliases the tail slab's free space, so
+        // every emitted edge lands at its final resting place) and a single
+        // designated drainer hands them over in canonical chunk order — the
+        // output stream is bit-identical to a sequential run, for any
+        // worker count and any steal schedule. Chunks completing more than
+        // `max_buffered_bytes` ahead of the cursor park on disk, so peak
+        // memory is budget + one chunk instead of O(completion skew).
+        // Recycling stays on in bounded mode too: released slabs decommit
+        // their payload pages (chunk_pool.hpp), so retained capacity is no
+        // longer invisible resident memory and the strict bound survives.
+        ChunkBufferPool local_buffers(opt.arena_slab_bytes, /*populate=*/false,
+                                      /*decommit=*/opt.max_buffered_bytes != 0);
+        ChunkBufferPool& buffers =
+            opt.arena != nullptr ? *opt.arena : local_buffers;
+        // Stats are deltas: an external arena (ChunkOptions::arena) carries
+        // warm slabs and counters across runs.
+        const u64 base_recycled  = buffers.buffers_recycled();
+        const u64 base_allocated = buffers.buffers_allocated();
+        const u64 base_chains    = buffers.arena().chains();
         OrderedDelivery delivery(span, begin, opt.max_buffered_bytes,
                                  opt.spill_path, sink, buffers);
         pool.parallel_for(span, workers, [&](u64 task) {
-            EdgeList buf = buffers.acquire();
-            MemorySink local(&buf);
+            ChunkBuffer buf = buffers.acquire();
             {
+                ArenaSink local(buf);
                 obs::Span gen(obs::Phase::generate, begin + task);
                 fn(begin + task, num_chunks, local);
                 local.flush();
@@ -682,8 +769,10 @@ ChunkRunStats run_chunked(const ChunkOptions& opt, const ChunkFn& fn, EdgeSink& 
         stats.peak_buffered_bytes = delivery.peak_buffered_bytes();
         stats.spilled_chunks      = delivery.spilled_chunks();
         stats.spilled_bytes       = delivery.spilled_bytes();
-        stats.buffers_recycled    = buffers.buffers_recycled();
-        stats.buffers_allocated   = buffers.buffers_allocated();
+        stats.buffers_recycled    = buffers.buffers_recycled() - base_recycled;
+        stats.buffers_allocated   = buffers.buffers_allocated() - base_allocated;
+        stats.arena_chains        = buffers.arena().chains() - base_chains;
+        stats.arena_slab_bytes    = buffers.arena().slab_bytes();
     }
     stats.seconds = static_cast<double>(obs::monotonic_now() - start) * 1e-9;
 
@@ -698,6 +787,13 @@ ChunkRunStats run_chunked(const ChunkOptions& opt, const ChunkFn& fn, EdgeSink& 
     reg.counter("pe.buffers_allocated").add(stats.buffers_allocated);
     reg.counter("pe.peak_buffered_bytes", obs::MergeKind::max)
         .record_max(stats.peak_buffered_bytes);
+    reg.counter("pe.arena.freelist_hits").add(stats.buffers_recycled);
+    reg.counter("pe.arena.slabs_reserved").add(stats.buffers_allocated);
+    reg.counter("pe.arena.slab_bytes_reserved")
+        .add(stats.buffers_allocated * stats.arena_slab_bytes);
+    reg.counter("pe.arena.chains").add(stats.arena_chains);
+    reg.counter("pe.arena.slab_bytes", obs::MergeKind::max)
+        .record_max(stats.arena_slab_bytes);
     return stats;
 }
 

@@ -29,6 +29,8 @@
 
 namespace kagen::pe {
 
+class ChunkBufferPool; // pe/chunk_pool.hpp (arena-backed chunk buffers)
+
 /// Work a single PE performs: produce its local edge list.
 using RankFn = std::function<EdgeList(u64 rank, u64 size)>;
 
@@ -143,6 +145,17 @@ struct ChunkOptions {
     /// pool's lifetime.
     bool pin_threads = false;
 
+    /// Per-slab size of the chunk arena (pe/arena.hpp) backing the ordered
+    /// multi-worker path; 0 = SlabArena::kDefaultSlabBytes. Memory layout
+    /// only — the output stream is byte-identical for every value.
+    u64 arena_slab_bytes = 0;
+
+    /// External chunk arena to run on; null = a per-run pool-owned arena.
+    /// Passing one keeps slab mappings warm across runs (the steady-state
+    /// zero-allocation property then spans runs, not just chunks) — the
+    /// future daemon's mode, and what the allocation-gate test drives.
+    ChunkBufferPool* arena = nullptr;
+
     /// Affinity-aware deal: align the initial chunk→worker ranges (and
     /// steal splits) to groups of this many consecutive chunks. The
     /// geometric models map consecutive chunk ids to contiguous Morton cell
@@ -172,9 +185,13 @@ struct ChunkRunStats {
     u64 spilled_chunks = 0;      ///< chunks parked on disk
     u64 spilled_bytes  = 0;      ///< edge bytes written to the spill file
 
-    // Chunk-buffer pool accounting (multi-worker ordered runs only).
-    u64 buffers_recycled  = 0; ///< chunk buffers reused from the pool
-    u64 buffers_allocated = 0; ///< chunk buffers freshly allocated
+    // Chunk-arena accounting (multi-worker ordered runs only; deltas of
+    // this run when an external arena was passed). A "buffer" is a slab of
+    // the chunk arena (pe/arena.hpp).
+    u64 buffers_recycled  = 0; ///< slab acquires served from the freelist
+    u64 buffers_allocated = 0; ///< slabs freshly reserved (mmap/fallback)
+    u64 arena_chains      = 0; ///< chunks that chained a second+ slab
+    u64 arena_slab_bytes  = 0; ///< per-slab size the run used
 };
 
 /// Runs every canonical chunk through `fn` and streams the results into

@@ -50,7 +50,7 @@ public:
     /// Drains the inline buffer into `consume`. Idempotent.
     void flush() {
         if (fill_ == 0) return;
-        consume(buffer_.get(), fill_);
+        consume(buffer_, fill_);
         fill_ = 0;
     }
 
@@ -78,16 +78,38 @@ protected:
     /// \param buffer_edges inline-buffer capacity; 0 selects the default.
     explicit EdgeSink(std::size_t buffer_edges = kDefaultBufferEdges)
         : capacity_(buffer_edges != 0 ? buffer_edges : kDefaultBufferEdges),
-          buffer_(new Edge[capacity_]) {}
+          owned_(new Edge[capacity_]), buffer_(owned_.get()) {}
+
+    /// External-buffer mode: `emit` writes into caller-owned storage — the
+    /// zero-allocation facades of the chunk pipeline (pe/arena.hpp
+    /// `ArenaSink` aliases the slab's free space so emitted edges land at
+    /// their final resting place; the unordered path's forwarding facade
+    /// uses a stack array). The derived class owns the storage and keeps it
+    /// valid until rebound; it may pass (nullptr, 0) here and bind the real
+    /// region in its constructor body via `rebind_buffer`.
+    EdgeSink(Edge* buffer, std::size_t capacity)
+        : capacity_(capacity), buffer_(buffer) {}
+
+    /// Repoints the inline buffer (external-buffer mode only). Legal only
+    /// from inside `consume` (the pending fill is being committed by that
+    /// very call) or before any `emit` — anywhere else it would drop
+    /// buffered edges.
+    void rebind_buffer(Edge* buffer, std::size_t capacity) {
+        buffer_   = buffer;
+        capacity_ = capacity;
+    }
 
     /// Receives a batch of edges; count >= 1 (buffered emits arrive in
     /// batches of at most `buffer_capacity()`, `deliver` passes batches
-    /// through unchanged — so whole chunks arrive as one call).
+    /// through unchanged). Chunked ordered delivery hands a chunk over as
+    /// one call per slab segment (pe/arena.hpp) — sinks must not assume
+    /// any correspondence between batch boundaries and chunk boundaries.
     virtual void consume(const Edge* edges, std::size_t count) = 0;
 
 private:
     std::size_t capacity_;
-    std::unique_ptr<Edge[]> buffer_;
+    std::unique_ptr<Edge[]> owned_; ///< null in external-buffer mode
+    Edge* buffer_ = nullptr;        ///< active emit region
     std::size_t fill_ = 0;
 };
 

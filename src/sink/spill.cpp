@@ -1,6 +1,7 @@
 #include "sink/spill.hpp"
 
 #include <algorithm>
+#include <cassert>
 #include <cerrno>
 #include <cstdlib>
 #include <cstring>
@@ -121,11 +122,17 @@ std::size_t SpillFile::read(const Segment& seg, u64 first, Edge* out,
 
 void SpillFile::replay(const Segment& seg, EdgeSink& sink) const {
     constexpr std::size_t kBatch = 4096; // 64 KiB of edges per read
-    std::vector<Edge> buf(std::min<u64>(seg.count, kBatch));
+    std::vector<Edge> buf(std::min<u64>(std::max<u64>(seg.count, 1), kBatch));
+    replay(seg, sink, buf.data(), buf.size());
+}
+
+void SpillFile::replay(const Segment& seg, EdgeSink& sink, Edge* scratch,
+                       std::size_t scratch_cap) const {
+    assert(scratch != nullptr && scratch_cap > 0);
     u64 pos = 0;
     while (pos < seg.count) {
-        const std::size_t got = read(seg, pos, buf.data(), buf.size());
-        sink.deliver(buf.data(), got);
+        const std::size_t got = read(seg, pos, scratch, scratch_cap);
+        sink.deliver(scratch, got);
         pos += got;
     }
     static obs::Counter& replay_ctr =

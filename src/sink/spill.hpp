@@ -64,6 +64,13 @@ public:
     /// materializes the segment).
     void replay(const Segment& seg, EdgeSink& sink) const;
 
+    /// Same, through a caller-owned scratch buffer — the ordered-delivery
+    /// drainer replays through an arena slab (pe/arena.hpp), so the replay
+    /// path allocates nothing and the bounded-memory footprint stays
+    /// budget + one chunk + one slab.
+    void replay(const Segment& seg, EdgeSink& sink, Edge* scratch,
+                std::size_t scratch_cap) const;
+
     /// Total bytes ever appended.
     u64 bytes_spilled() const;
 
@@ -96,6 +103,13 @@ public:
     /// through `deliver`; flushes nothing and finishes nothing on `sink`).
     void replay(EdgeSink& sink) const {
         for (const auto& seg : segments_) file_.replay(seg, sink);
+    }
+
+    /// Replay through a caller-owned scratch buffer (see SpillFile).
+    void replay(EdgeSink& sink, Edge* scratch, std::size_t scratch_cap) const {
+        for (const auto& seg : segments_) {
+            file_.replay(seg, sink, scratch, scratch_cap);
+        }
     }
 
 protected:

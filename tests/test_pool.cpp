@@ -1,11 +1,13 @@
-// Hot-path scheduling + buffer recycling (DESIGN.md §9): ChunkBufferPool
-// units, recycled multi-worker ordered delivery (byte-identical to
-// sequential, recycling engaged, disabled in bounded-memory mode),
-// affinity-aware deal granularity (every task exactly once, group-aligned
-// initial deal, identical output), and worker pinning.
+// Hot-path scheduling + slab recycling (DESIGN.md §9, §14): arena-backed
+// ChunkBufferPool units, recycled multi-worker ordered delivery
+// (byte-identical to sequential, recycling engaged — including in
+// bounded-memory mode, where released slabs decommit instead of the pool
+// switching off), affinity-aware deal granularity (every task exactly
+// once, group-aligned initial deal, identical output), and worker pinning.
 // ctest label: pool (re-run under ASan in CI).
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
 #include <fstream>
 #include <vector>
@@ -31,58 +33,78 @@ EdgeList some_edges(u64 count, u64 salt = 0) {
 // ChunkBufferPool units
 // ---------------------------------------------------------------------------
 
-TEST(ChunkBufferPool, RecyclesCapacityAndCountsHits) {
-    pe::ChunkBufferPool pool(4);
+TEST(ChunkBufferPool, RecyclesSlabsAndCountsHits) {
+    pe::ChunkBufferPool pool;
 
-    EdgeList a = pool.acquire();
+    pe::ChunkBuffer a = pool.acquire();
+    EXPECT_EQ(pool.buffers_allocated(), 0u) << "no slab until first write";
+
+    const EdgeList src = some_edges(1000);
+    a.append(src.data(), src.size());
     EXPECT_EQ(pool.buffers_allocated(), 1u);
     EXPECT_EQ(pool.buffers_recycled(), 0u);
-
-    a.resize(1000);
-    const Edge* data            = a.data();
-    const std::size_t capacity  = a.capacity();
-    pool.release(std::move(a));
+    const Edge* data = nullptr;
+    a.for_each_segment([&](EdgeSpan seg) { data = seg.data; });
+    ASSERT_NE(data, nullptr);
+    pool.release(a);
     EXPECT_EQ(pool.buffers_retained(), 1u);
 
-    EdgeList b = pool.acquire();
+    pe::ChunkBuffer b = pool.acquire();
+    b.append(src.data(), src.size());
     EXPECT_EQ(pool.buffers_recycled(), 1u);
-    EXPECT_EQ(pool.buffers_allocated(), 1u);
-    // The recycled buffer is empty but keeps its allocation: appending up
-    // to the old capacity must not reallocate.
-    EXPECT_TRUE(b.empty());
-    EXPECT_EQ(b.capacity(), capacity);
-    b.resize(1000);
-    EXPECT_EQ(b.data(), data);
+    EXPECT_EQ(pool.buffers_allocated(), 1u) << "reuse must not map a new slab";
+    const Edge* data2 = nullptr;
+    b.for_each_segment([&](EdgeSpan seg) { data2 = seg.data; });
+    EXPECT_EQ(data2, data) << "freelist must hand back the same slab";
 }
 
-TEST(ChunkBufferPool, RetentionCapFreesExcessBuffers) {
-    pe::ChunkBufferPool pool(2);
-    std::vector<EdgeList> bufs;
+TEST(ChunkBufferPool, FreelistHoldsAllReleasedSlabs) {
+    // The arena has no retention cap: a released slab keeps its mapping on
+    // the freelist for the lifetime of the arena (bounded-memory runs
+    // decommit the payload pages instead of unmapping — see below).
+    pe::ChunkBufferPool pool;
+    const EdgeList src = some_edges(16);
+    std::vector<pe::ChunkBuffer> bufs;
     for (int i = 0; i < 5; ++i) {
-        EdgeList b = pool.acquire();
-        b.resize(16);
+        pe::ChunkBuffer b = pool.acquire();
+        b.append(src.data(), src.size());
         bufs.push_back(std::move(b));
     }
-    for (auto& b : bufs) pool.release(std::move(b));
-    EXPECT_EQ(pool.buffers_retained(), 2u) << "cap must bound the free list";
+    for (auto& b : bufs) pool.release(b);
+    EXPECT_EQ(pool.buffers_retained(), 5u);
+    EXPECT_EQ(pool.buffers_allocated(), 5u);
 }
 
-TEST(ChunkBufferPool, ZeroRetentionDisablesRecycling) {
-    pe::ChunkBufferPool pool(0);
-    EdgeList a = pool.acquire();
-    a.resize(8);
-    pool.release(std::move(a));
-    EXPECT_EQ(pool.buffers_retained(), 0u);
-    EdgeList b = pool.acquire();
-    EXPECT_EQ(pool.buffers_recycled(), 0u);
-    EXPECT_EQ(pool.buffers_allocated(), 2u);
-    pool.release(std::move(b)); // empty: dropped either way
+TEST(ChunkBufferPool, DecommitModeStillRecycles) {
+    // Bounded-memory mode: released slabs give their payload pages back to
+    // the kernel but keep the mapping, so recycling stays on — the
+    // pre-arena pool had to switch itself off here entirely.
+    pe::ChunkBufferPool pool(0, /*populate=*/false, /*decommit_on_release=*/true);
+    const EdgeList src = some_edges(8);
+    pe::ChunkBuffer a  = pool.acquire();
+    a.append(src.data(), src.size());
+    pool.release(a);
+    EXPECT_EQ(pool.buffers_retained(), 1u);
+
+    pe::ChunkBuffer b = pool.acquire();
+    b.append(src.data(), src.size());
+    EXPECT_EQ(pool.buffers_recycled(), 1u);
+    EXPECT_EQ(pool.buffers_allocated(), 1u);
+    // The decommitted-and-reused payload must read back intact.
+    u64 i = 0;
+    b.for_each_segment([&](EdgeSpan seg) {
+        for (const Edge& e : seg) EXPECT_EQ(e, src[i++]);
+    });
+    EXPECT_EQ(i, src.size());
 }
 
-TEST(ChunkBufferPool, EmptyBuffersAreNotRetained) {
-    pe::ChunkBufferPool pool(4);
-    pool.release(EdgeList{}); // capacity 0: nothing worth keeping
+TEST(ChunkBufferPool, UntouchedBuffersHoldNoSlab) {
+    pe::ChunkBufferPool pool;
+    pe::ChunkBuffer b = pool.acquire();
+    EXPECT_EQ(b.slabs_held(), 0u);
+    pool.release(b); // nothing to hand back
     EXPECT_EQ(pool.buffers_retained(), 0u);
+    EXPECT_EQ(pool.buffers_allocated(), 0u);
 }
 
 // ---------------------------------------------------------------------------
@@ -110,7 +132,7 @@ TEST(RecycledDelivery, MultiWorkerOutputMatchesSequentialAndRecycles) {
     pe::run_chunked(seq, chunk_fn(), ref_sink);
     const EdgeList reference = ref_sink.take();
 
-    // Whoever delivers chunk 0 releases its buffer before acquiring one for
+    // Whoever delivers chunk 0 releases its slab before acquiring one for
     // its next chunk, so a run recycles unless that participant happened to
     // execute no further chunk — a steal schedule so extreme that three
     // attempts hitting it in a row indicates a real regression.
@@ -121,16 +143,22 @@ TEST(RecycledDelivery, MultiWorkerOutputMatchesSequentialAndRecycles) {
         MemorySink sink;
         const auto stats = pe::run_chunked(opt, chunk_fn(), sink);
         EXPECT_EQ(sink.take(), reference);
+        // Every chunk here fits one slab, so exactly one slab per chunk.
         EXPECT_EQ(stats.buffers_recycled + stats.buffers_allocated, kChunks)
-            << "every chunk acquires exactly one buffer";
+            << "every chunk binds exactly one slab";
+        EXPECT_EQ(stats.arena_chains, 0u);
         recycled = stats.buffers_recycled;
     }
-    EXPECT_GT(recycled, 0u) << "pool never recycled a buffer";
+    EXPECT_GT(recycled, 0u) << "arena never recycled a slab";
 }
 
-TEST(RecycledDelivery, BoundedMemoryModeDisablesRecycling) {
-    // A retained buffer's capacity would be resident memory the spill
-    // window cannot account for, so bounded runs must not recycle.
+TEST(RecycledDelivery, BoundedMemoryModeKeepsRecyclingAndPeakBound) {
+    // Regression for the PR-5 special case this arena removed: bounded
+    // runs used to disable the pool because retained vector capacity was
+    // resident memory the budget accounting could not see. Slabs decommit
+    // their payload pages on release instead (pe/arena.hpp), so recycling
+    // stays on AND the documented budget + one-chunk peak bound still
+    // holds exactly.
     constexpr u64 kChunks = 16;
     pe::ThreadPool pool(3);
 
@@ -146,12 +174,25 @@ TEST(RecycledDelivery, BoundedMemoryModeDisablesRecycling) {
     seq.threads          = 1;
     seq.max_buffered_bytes = 0;
     pe::run_chunked(seq, chunk_fn(), ref_sink);
+    const EdgeList reference = ref_sink.take();
 
-    MemorySink sink;
-    const auto stats = pe::run_chunked(opt, chunk_fn(), sink);
-    EXPECT_EQ(sink.take(), ref_sink.take());
-    EXPECT_EQ(stats.buffers_recycled, 0u);
-    EXPECT_EQ(stats.buffers_allocated, kChunks);
+    u64 max_chunk_bytes = 0;
+    for (u64 c = 0; c < kChunks; ++c) {
+        max_chunk_bytes =
+            std::max<u64>(max_chunk_bytes, (200 + (c * 53) % 300) * sizeof(Edge));
+    }
+
+    u64 recycled = 0;
+    for (int attempt = 0; attempt < 3 && recycled == 0; ++attempt) {
+        MemorySink sink;
+        const auto stats = pe::run_chunked(opt, chunk_fn(), sink);
+        EXPECT_EQ(sink.take(), reference);
+        EXPECT_LE(stats.peak_buffered_bytes,
+                  opt.max_buffered_bytes + max_chunk_bytes)
+            << "budget + one chunk bound violated";
+        recycled = stats.buffers_recycled;
+    }
+    EXPECT_GT(recycled, 0u) << "bounded mode must keep slab recycling on";
 }
 
 TEST(RecycledDelivery, SingleWorkerStreamsWithoutChunkBuffers) {

@@ -39,6 +39,15 @@ Rules (ids are what the allowlist references):
                       clock read. One clock site means the "timestamps
                       never feed generation" argument (DESIGN.md §13) is
                       auditable at one place instead of N.
+  hot-path-alloc      heap-allocation calls (new, operator new,
+                      make_unique/make_shared, push_back/emplace_back/
+                      reserve/resize) in the chunked-engine sources (pe/) —
+                      the steady-state emit->deliver->write loop is
+                      allocation-free by design (arena slabs + lock-free
+                      delivery, DESIGN.md §14, gated by test_alloc_gate).
+                      Setup/teardown and cold-path allocations are fine but
+                      must be allowlisted with a justification saying why
+                      they are not per-chunk or per-edge.
 
 Allowlist: one entry per line in the file passed via --allowlist,
   <rule-id> <path-suffix> "<line substring>"  # justification
@@ -71,6 +80,13 @@ DISCARDED_IO = re.compile(
 # A statement continuation: the call is an operand of the previous line.
 CONTINUATION_TAIL = re.compile(r"(\(|\|\||&&|=|\?|:|,|return|<<|>>)\s*$")
 RESULT_USED_SAME_LINE = re.compile(r"\)\s*(==|!=|<|>|<=|>=)")
+
+# Heap-allocation calls, flagged only under HOT_PATH_PREFIXES. Placement
+# new (`new (mem) T`) is excluded — it does not allocate.
+HOT_PATH_PREFIXES = ("pe/",)
+HOT_PATH_ALLOC = re.compile(
+    r"\bnew\s+[A-Za-z_:]|\boperator\s+new\b|std::make_(unique|shared)\b|"
+    r"\.(push_back|emplace_back|reserve|resize)\s*\(")
 
 UNORDERED_DECL = re.compile(r"std::unordered_\w+\s*<[^;]*>\s+(\w+)")
 WIRE_FILES = ("dist/ipc.hpp", "net/protocol.hpp", "common/bytes.hpp")
@@ -162,6 +178,11 @@ def scan_file(path: Path, rel: str):
             begin = re.search(r"\b(\w+)\s*(\.|->)\s*c?r?begin\s*\(", line)
             if begin and begin.group(1) in unordered_vars:
                 yield ("unordered-iteration", rel, no, raw.strip())
+
+        if rel.startswith(HOT_PATH_PREFIXES) and \
+                not line.lstrip().startswith("#") and \
+                HOT_PATH_ALLOC.search(line):
+            yield ("hot-path-alloc", rel, no, raw.strip())
 
         if DISCARDED_IO.search(line):
             prev = lines[idx - 1].rstrip() if idx > 0 else ""
